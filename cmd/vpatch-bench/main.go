@@ -1,0 +1,128 @@
+// Command vpatch-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	vpatch-bench -fig 4a            # one figure
+//	vpatch-bench -all               # every figure
+//	vpatch-bench -fig 4a -size 64   # 64 MB of traffic per dataset
+//
+// Figures: 4a 4b 5a 5b 5c 6a 6b 6c 7a 7b. Output is the same rows/series
+// the paper plots: wall-clock Gbps of this Go implementation plus
+// cost-model Gbps on the figure's platform (Haswell for Fig 4-6, Xeon-Phi
+// for Fig 7); speedups are model-based. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vpatch/internal/costmodel"
+	"vpatch/internal/experiments"
+	"vpatch/internal/patterns"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (4a 4b 5a 5b 5c 6a 6b 6c 7a 7b)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	sizeMB := flag.Int("size", 4, "traffic size per dataset in MB")
+	seed := flag.Int64("seed", 1, "generator seed")
+	repeats := flag.Int("repeats", 3, "wall-clock timing repeats")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		TrafficBytes: *sizeMB << 20,
+		Seed:         *seed,
+		Repeats:      *repeats,
+	}
+
+	var figs []string
+	switch {
+	case *all:
+		figs = []string{"4a", "4b", "5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b"}
+	case *fig != "":
+		figs = strings.Split(*fig, ",")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Rule sets are built once and shared across figures.
+	fmt.Println("generating rule sets (seeded, statistics of Snort v2.9.7 / ET-open 2.9.0)...")
+	s1 := patterns.GenerateS1(cfg.Seed)
+	s2 := patterns.GenerateS2(cfg.Seed)
+	s1web := s1.WebSubset()
+	s2web := s2.WebSubset()
+	fmt.Println("  " + patterns.DescribeSet("S1", s1))
+	fmt.Println("  " + patterns.DescribeSet("S2", s2))
+	fmt.Println()
+
+	for _, f := range figs {
+		switch strings.TrimSpace(f) {
+		case "4a":
+			rows := experiments.FigThroughput(cfg, s1web, costmodel.Haswell, 8)
+			experiments.PrintThroughputRows(os.Stdout,
+				"Fig 4a: overall throughput, Snort web patterns (2K), Haswell (W=8)", rows)
+			writeCSV(*csvDir, func() error { return experiments.WriteThroughputCSV(*csvDir, "fig4a.csv", rows) })
+		case "4b":
+			rows := experiments.FigThroughput(cfg, s2web, costmodel.Haswell, 8)
+			experiments.PrintThroughputRows(os.Stdout,
+				"Fig 4b: overall throughput, ET-open web patterns (9K), Haswell (W=8)", rows)
+			writeCSV(*csvDir, func() error { return experiments.WriteThroughputCSV(*csvDir, "fig4b.csv", rows) })
+		case "5a":
+			pts := experiments.Fig5a(cfg, s2, []int{1000, 2500, 5000, 7500, 10000, 15000, 20000},
+				costmodel.Haswell, 8)
+			experiments.PrintFig5a(os.Stdout, pts)
+			writeCSV(*csvDir, func() error { return experiments.WriteFig5aCSV(*csvDir, "fig5a.csv", pts) })
+		case "5b":
+			pts := experiments.Fig5b(cfg, s2, []int{1000, 2500, 5000, 7500, 10000, 15000, 20000}, 8)
+			experiments.PrintFig5b(os.Stdout, pts)
+			writeCSV(*csvDir, func() error { return experiments.WriteFig5bCSV(*csvDir, "fig5b.csv", pts) })
+		case "5c":
+			pts := experiments.Fig5c(cfg, s2.Subset(2000, cfg.Seed),
+				[]float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}, costmodel.Haswell, 8)
+			experiments.PrintFig5c(os.Stdout, pts)
+			writeCSV(*csvDir, func() error { return experiments.WriteFig5cCSV(*csvDir, "fig5c.csv", pts) })
+		case "6a":
+			cells := experiments.Fig6(cfg, s1web, costmodel.Haswell, 8)
+			experiments.PrintFig6(os.Stdout, "Fig 6a: filtering-only throughput, 2K patterns", cells)
+			writeCSV(*csvDir, func() error { return experiments.WriteFig6CSV(*csvDir, "fig6a.csv", cells) })
+		case "6b":
+			cells := experiments.Fig6(cfg, s2web, costmodel.Haswell, 8)
+			experiments.PrintFig6(os.Stdout, "Fig 6b: filtering-only throughput, 9K patterns", cells)
+			writeCSV(*csvDir, func() error { return experiments.WriteFig6CSV(*csvDir, "fig6b.csv", cells) })
+		case "6c":
+			cells := experiments.Fig6(cfg, s2, costmodel.Haswell, 8)
+			experiments.PrintFig6(os.Stdout, "Fig 6c: filtering-only throughput, 20K patterns", cells)
+			writeCSV(*csvDir, func() error { return experiments.WriteFig6CSV(*csvDir, "fig6c.csv", cells) })
+		case "7a":
+			rows := experiments.FigThroughput(cfg, s1web, costmodel.XeonPhi, 16)
+			experiments.PrintThroughputRows(os.Stdout,
+				"Fig 7a: overall throughput, Snort web patterns (2K), Xeon-Phi (W=16)", rows)
+			writeCSV(*csvDir, func() error { return experiments.WriteThroughputCSV(*csvDir, "fig7a.csv", rows) })
+		case "7b":
+			rows := experiments.FigThroughput(cfg, s2web, costmodel.XeonPhi, 16)
+			experiments.PrintThroughputRows(os.Stdout,
+				"Fig 7b: overall throughput, ET-open web patterns (9K), Xeon-Phi (W=16)", rows)
+			writeCSV(*csvDir, func() error { return experiments.WriteThroughputCSV(*csvDir, "fig7b.csv", rows) })
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+}
+
+// writeCSV runs the export when a CSV directory was requested.
+func writeCSV(dir string, fn func() error) {
+	if dir == "" {
+		return
+	}
+	if err := fn(); err != nil {
+		fmt.Fprintln(os.Stderr, "vpatch-bench: csv:", err)
+		os.Exit(1)
+	}
+}

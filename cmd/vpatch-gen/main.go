@@ -1,0 +1,137 @@
+// Command vpatch-gen writes the synthetic workloads used throughout the
+// evaluation to disk, so they can be inspected or fed to vpatch-match and
+// external tools.
+//
+// Usage:
+//
+//	vpatch-gen -rules s1 -out s1.rules          # Snort-style rule file
+//	vpatch-gen -rules s2 -web -out web.rules    # web-applicable subset
+//	vpatch-gen -traffic iscx2 -size 64 -out day2.bin
+//	vpatch-gen -traffic random -size 16 -out rnd.bin
+//
+// Rule sets reproduce the published statistics of the paper's sets
+// (S1 ~ Snort v2.9.7, S2 ~ ET-open 2.9.0); traffic profiles reproduce the
+// filter-hit behaviour of the paper's traces. Everything is seeded.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vpatch/internal/netsim"
+	"vpatch/internal/patterns"
+	"vpatch/internal/traffic"
+)
+
+func main() {
+	rules := flag.String("rules", "", "rule set to generate: s1 or s2")
+	web := flag.Bool("web", false, "restrict the rule set to the web-applicable subset")
+	trafficName := flag.String("traffic", "", "trace to generate: iscx2, iscx6, darpa, random")
+	sizeMB := flag.Int("size", 16, "trace size in MB")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (required)")
+	withAttacks := flag.String("attacks-from", "", "rule set (s1|s2) whose patterns are embedded as attacks in the trace")
+	pcap := flag.Bool("pcap", false, "write the trace as a libpcap capture (multiple interleaved flows) instead of a raw stream")
+	flows := flag.Int("flows", 8, "number of flows for -pcap output")
+	flag.Parse()
+
+	if *out == "" || (*rules == "") == (*trafficName == "") {
+		fmt.Fprintln(os.Stderr, "usage: vpatch-gen (-rules s1|s2 [-web] | -traffic iscx2|iscx6|darpa|random [-size MB]) -out FILE")
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	if *rules != "" {
+		set, err := makeSet(*rules, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *web {
+			set = set.WebSubset()
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "# synthetic rule set %s (seed %d)\n# %s\n", *rules, *seed,
+			patterns.DescribeSet(*rules, set))
+		for i := range set.Patterns() {
+			fmt.Fprintln(w, patterns.EncodeRule(&set.Patterns()[i], i+1))
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rules to %s\n", set.Len(), *out)
+		return
+	}
+
+	var attackSet *patterns.Set
+	if *withAttacks != "" {
+		s, err := makeSet(*withAttacks, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		attackSet = s.WebSubset()
+	}
+	gen := func(size int, seed int64) []byte {
+		switch strings.ToLower(*trafficName) {
+		case "iscx2":
+			return traffic.Synthesize(traffic.ISCXDay2, size, seed, attackSet)
+		case "iscx6":
+			return traffic.Synthesize(traffic.ISCXDay6, size, seed, attackSet)
+		case "darpa":
+			return traffic.Synthesize(traffic.DARPA2000, size, seed, attackSet)
+		case "random":
+			return traffic.Random(size, seed)
+		}
+		fatal(fmt.Errorf("unknown traffic profile %q", *trafficName))
+		return nil
+	}
+
+	if *pcap {
+		if *flows < 1 {
+			fatal(fmt.Errorf("-flows must be >= 1"))
+		}
+		streams := make(map[netsim.FlowKey][]byte, *flows)
+		per := *sizeMB << 20 / *flows
+		for i := 0; i < *flows; i++ {
+			key := netsim.FlowKey{
+				SrcIP: 0x0A000001 + uint32(i), DstIP: 0xC0A80001,
+				SrcPort: uint16(40000 + i), DstPort: 80,
+			}
+			streams[key] = gen(per, *seed+int64(i))
+		}
+		segs := netsim.Packetize(streams, netsim.PacketizeOptions{Seed: *seed, Jitter: 3})
+		if err := netsim.WritePcap(f, segs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d segments over %d flows (%d MB %s) to %s\n",
+			len(segs), *flows, *sizeMB, *trafficName, *out)
+		return
+	}
+
+	data := gen(*sizeMB<<20, *seed)
+	if _, err := f.Write(data); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d MB of %s traffic to %s\n", *sizeMB, *trafficName, *out)
+}
+
+func makeSet(name string, seed int64) (*patterns.Set, error) {
+	switch strings.ToLower(name) {
+	case "s1":
+		return patterns.GenerateS1(seed), nil
+	case "s2":
+		return patterns.GenerateS2(seed), nil
+	}
+	return nil, fmt.Errorf("unknown rule set %q (want s1 or s2)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpatch-gen:", err)
+	os.Exit(1)
+}

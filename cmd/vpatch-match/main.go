@@ -1,0 +1,178 @@
+// Command vpatch-match is a miniature IDS matching engine: it compiles a
+// rule or pattern file and scans an input file (or stdin) with any of the
+// library's algorithms, reporting every match.
+//
+// Usage:
+//
+//	vpatch-match -rules web.rules -in capture.bin
+//	vpatch-match -patterns strings.txt -algo spatch -count -in big.log
+//	cat stream | vpatch-match -rules web.rules -stream
+//
+// -rules parses Snort-style rules (content/nocase/hex escapes); -patterns
+// reads one literal string per line. -stream scans stdin in 64 KB chunks
+// through the StreamScanner (matches may span chunk boundaries).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"vpatch"
+	"vpatch/internal/patterns"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "", "Snort-style rules file")
+	patsPath := flag.String("patterns", "", "plain pattern file, one literal per line")
+	inPath := flag.String("in", "", "input file (default stdin)")
+	algoName := flag.String("algo", "vpatch", "algorithm: vpatch spatch dfc vectordfc ac wumanber")
+	width := flag.Int("width", 8, "vector width for vectorized algorithms (4, 8, 16)")
+	countOnly := flag.Bool("count", false, "print only the match count and throughput")
+	stream := flag.Bool("stream", false, "scan stdin/file as a stream in 64 KB chunks")
+	maxPrint := flag.Int("max-print", 20, "print at most this many matches (0 = all)")
+	flag.Parse()
+
+	set, err := loadPatterns(*rulesPath, *patsPath)
+	if err != nil {
+		fatal(err)
+	}
+	if set.Len() == 0 {
+		fatal(fmt.Errorf("no patterns loaded (use -rules or -patterns)"))
+	}
+	alg, err := parseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := vpatch.New(set, vpatch.Options{Algorithm: alg, VectorWidth: *width})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "compiled %d patterns for %s\n", set.Len(), alg)
+
+	var in io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	printed := 0
+	report := func(mm vpatch.Match) {
+		if *countOnly {
+			return
+		}
+		if *maxPrint > 0 && printed >= *maxPrint {
+			return
+		}
+		printed++
+		p := set.Pattern(mm.PatternID)
+		fmt.Printf("offset %10d  pattern %5d  %q\n", mm.Pos, mm.PatternID, truncate(p.Data, 40))
+	}
+
+	start := time.Now()
+	var scanned int64
+	var total uint64
+	if *stream {
+		s, err := vpatch.NewStreamScanner(m, func(mm vpatch.Match) { total++; report(mm) })
+		if err != nil {
+			fatal(err)
+		}
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := in.Read(buf)
+			if n > 0 {
+				if _, werr := s.Write(buf[:n]); werr != nil {
+					fatal(werr)
+				}
+				scanned += int64(n)
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		data, err := io.ReadAll(in)
+		if err != nil {
+			fatal(err)
+		}
+		scanned = int64(len(data))
+		m.Scan(data, nil, func(mm vpatch.Match) { total++; report(mm) })
+	}
+	elapsed := time.Since(start)
+	gbps := float64(scanned) * 8 / float64(elapsed.Nanoseconds())
+	fmt.Fprintf(os.Stderr, "%d matches in %d bytes (%.3f Gbps, %s)\n",
+		total, scanned, gbps, elapsed.Round(time.Millisecond))
+	if *countOnly {
+		fmt.Println(total)
+	}
+}
+
+func loadPatterns(rulesPath, patsPath string) (*vpatch.PatternSet, error) {
+	switch {
+	case rulesPath != "" && patsPath != "":
+		return nil, fmt.Errorf("use either -rules or -patterns, not both")
+	case rulesPath != "":
+		f, err := os.Open(rulesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return patterns.ParseRules(f, patterns.ParseOptions{})
+	case patsPath != "":
+		f, err := os.Open(patsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		set := vpatch.NewPatternSet()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				set.Add([]byte(line), false, vpatch.ProtoGeneric)
+			}
+		}
+		return set, sc.Err()
+	}
+	return vpatch.NewPatternSet(), nil
+}
+
+func parseAlgo(name string) (vpatch.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "vpatch", "v-patch":
+		return vpatch.AlgoVPatch, nil
+	case "spatch", "s-patch":
+		return vpatch.AlgoSPatch, nil
+	case "dfc":
+		return vpatch.AlgoDFC, nil
+	case "vectordfc", "vector-dfc", "vdfc":
+		return vpatch.AlgoVectorDFC, nil
+	case "ac", "ahocorasick", "aho-corasick":
+		return vpatch.AlgoAhoCorasick, nil
+	case "wumanber", "wu-manber", "wm":
+		return vpatch.AlgoWuManber, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpatch-match:", err)
+	os.Exit(1)
+}

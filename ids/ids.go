@@ -1,0 +1,182 @@
+// Package ids assembles the full NIDS pipeline the paper's system model
+// assumes around the matcher: captured segments are reassembled into
+// per-flow protocol streams, each flow is matched only against the rule
+// groups relevant to its service ("patterns are organized in groups,
+// depending on the type of traffic ... the reassembled payload is
+// matched only against patterns that are relevant", paper §V-A), and
+// matches surface as alerts with flow context and absolute stream
+// offsets.
+package ids
+
+import (
+	"fmt"
+
+	"vpatch"
+	"vpatch/internal/netsim"
+)
+
+// Alert is one confirmed pattern occurrence in a flow's stream.
+type Alert struct {
+	Flow netsim.FlowKey
+	// StreamOffset is the match position within the flow's reassembled
+	// payload stream.
+	StreamOffset int64
+	// PatternID indexes the engine's original rule set.
+	PatternID int32
+}
+
+// Engine routes flows to per-protocol matchers over one rule set.
+type Engine struct {
+	set    *vpatch.PatternSet
+	groups map[vpatch.Protocol]*group
+	emit   func(Alert)
+
+	reasm *netsim.Reassembler
+	flows map[netsim.FlowKey]*flowScanner
+}
+
+// group is one compiled rule group: the protocol's own rules plus the
+// generic rules, with the subset->original pattern ID mapping.
+type group struct {
+	matcher vpatch.Matcher
+	origID  []int32 // subset pattern ID -> original set pattern ID
+}
+
+type flowScanner struct {
+	scanner *vpatch.StreamScanner
+}
+
+// protocols that get a dedicated group; anything else uses the generic
+// group alone.
+var groupedProtocols = []vpatch.Protocol{
+	vpatch.ProtoHTTP, vpatch.ProtoDNS, vpatch.ProtoFTP, vpatch.ProtoSMTP,
+}
+
+// NewEngine compiles one matcher per protocol group from set, using opt
+// for every matcher. emit receives alerts and must be non-nil.
+func NewEngine(set *vpatch.PatternSet, opt vpatch.Options, emit func(Alert)) (*Engine, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("ids: nil alert sink")
+	}
+	e := &Engine{
+		set:    set,
+		groups: make(map[vpatch.Protocol]*group),
+		emit:   emit,
+		flows:  make(map[netsim.FlowKey]*flowScanner),
+	}
+	// Generic-only group handles flows of unclassified services.
+	if g, err := buildGroup(set, vpatch.ProtoGeneric, opt); err != nil {
+		return nil, err
+	} else if g != nil {
+		e.groups[vpatch.ProtoGeneric] = g
+	}
+	for _, proto := range groupedProtocols {
+		g, err := buildGroup(set, proto, opt)
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
+			e.groups[proto] = g
+		}
+	}
+	e.reasm = netsim.NewReassembler(e.onPayload)
+	return e, nil
+}
+
+// buildGroup compiles the subset applicable to proto (its own rules +
+// generic rules), remembering original pattern IDs. Returns nil when the
+// subset is empty.
+func buildGroup(set *vpatch.PatternSet, proto vpatch.Protocol, opt vpatch.Options) (*group, error) {
+	sub := vpatch.NewPatternSet()
+	var orig []int32
+	for i := range set.Patterns() {
+		p := &set.Patterns()[i]
+		if p.Proto != proto && p.Proto != vpatch.ProtoGeneric {
+			continue
+		}
+		id := sub.Add(p.Data, p.Nocase, p.Proto)
+		if int(id) == len(orig) {
+			orig = append(orig, p.ID)
+		}
+		// Duplicates inside the subset keep the first original ID.
+	}
+	if sub.Len() == 0 {
+		return nil, nil
+	}
+	m, err := vpatch.New(sub, opt)
+	if err != nil {
+		return nil, fmt.Errorf("ids: compiling %v group: %w", proto, err)
+	}
+	return &group{matcher: m, origID: orig}, nil
+}
+
+// GroupSizes reports the number of patterns compiled per protocol group.
+func (e *Engine) GroupSizes() map[vpatch.Protocol]int {
+	out := make(map[vpatch.Protocol]int, len(e.groups))
+	for proto, g := range e.groups {
+		out[proto] = g.matcher.Set().Len()
+	}
+	return out
+}
+
+// protoForPort classifies a flow by its destination service port.
+func protoForPort(port uint16) vpatch.Protocol {
+	switch port {
+	case 80, 8080, 8000, 443:
+		return vpatch.ProtoHTTP
+	case 53:
+		return vpatch.ProtoDNS
+	case 21:
+		return vpatch.ProtoFTP
+	case 25, 587:
+		return vpatch.ProtoSMTP
+	}
+	return vpatch.ProtoGeneric
+}
+
+// groupFor picks the compiled group for a flow, falling back to the
+// generic group when the service has no dedicated rules.
+func (e *Engine) groupFor(k netsim.FlowKey) *group {
+	if g, ok := e.groups[protoForPort(k.DstPort)]; ok {
+		return g
+	}
+	return e.groups[vpatch.ProtoGeneric]
+}
+
+// HandleSegment feeds one captured segment through reassembly and
+// matching. Segments may arrive reordered or duplicated.
+func (e *Engine) HandleSegment(seg netsim.Segment) { e.reasm.Add(seg) }
+
+// onPayload receives contiguous stream bytes from the reassembler.
+func (e *Engine) onPayload(k netsim.FlowKey, payload []byte) {
+	fs := e.flows[k]
+	if fs == nil {
+		g := e.groupFor(k)
+		if g == nil {
+			return // no rules apply to this service at all
+		}
+		flow := k
+		sc, err := vpatch.NewStreamScanner(g.matcher, func(m vpatch.Match) {
+			e.emit(Alert{
+				Flow:         flow,
+				StreamOffset: int64(m.Pos),
+				PatternID:    g.origID[m.PatternID],
+			})
+		})
+		if err != nil {
+			// Construction only fails on nil arguments; unreachable here.
+			panic(err)
+		}
+		fs = &flowScanner{scanner: sc}
+		e.flows[k] = fs
+	}
+	if _, err := fs.scanner.Write(payload); err != nil {
+		panic(err) // StreamScanner.Write never errors
+	}
+}
+
+// Flows returns the number of flows tracked.
+func (e *Engine) Flows() int { return len(e.flows) }
+
+// PendingBytes reports buffered out-of-order bytes (diagnostic).
+func (e *Engine) PendingBytes() int { return e.reasm.PendingBytes() }

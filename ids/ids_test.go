@@ -1,0 +1,214 @@
+package ids
+
+import (
+	"sort"
+	"testing"
+
+	"vpatch"
+	"vpatch/internal/netsim"
+	"vpatch/internal/patterns"
+	"vpatch/internal/traffic"
+)
+
+func key(i int, port uint16) netsim.FlowKey {
+	return netsim.FlowKey{SrcIP: 0x0A000001 + uint32(i), DstIP: 0xC0A80001,
+		SrcPort: uint16(40000 + i), DstPort: port}
+}
+
+func mixedRuleSet() *vpatch.PatternSet {
+	set := vpatch.NewPatternSet()
+	set.Add([]byte("http-attack-xyz"), false, vpatch.ProtoHTTP)
+	set.Add([]byte("dns-poison-abc"), false, vpatch.ProtoDNS)
+	set.Add([]byte("generic-bad-001"), false, vpatch.ProtoGeneric)
+	set.Add([]byte("ftp-bounce-q"), false, vpatch.ProtoFTP)
+	return set
+}
+
+func collect(t *testing.T, set *vpatch.PatternSet, segs []netsim.Segment) []Alert {
+	t.Helper()
+	var alerts []Alert
+	e, err := NewEngine(set, vpatch.Options{}, func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		e.HandleSegment(s)
+	}
+	return alerts
+}
+
+func TestNewEngineRejectsNilSink(t *testing.T) {
+	if _, err := NewEngine(mixedRuleSet(), vpatch.Options{}, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}
+
+func TestGroupRouting(t *testing.T) {
+	set := mixedRuleSet()
+	httpStream := []byte("GET / HTTP/1.1 http-attack-xyz generic-bad-001 dns-poison-abc")
+	dnsStream := []byte("query dns-poison-abc generic-bad-001 http-attack-xyz")
+	flows := map[netsim.FlowKey][]byte{
+		key(1, 80): httpStream,
+		key(2, 53): dnsStream,
+	}
+	segs := netsim.Packetize(flows, netsim.PacketizeOptions{MTU: 16, Seed: 1})
+	alerts := collect(t, set, segs)
+
+	byFlow := map[uint16][]int32{}
+	for _, a := range alerts {
+		byFlow[a.Flow.DstPort] = append(byFlow[a.Flow.DstPort], a.PatternID)
+	}
+	// HTTP flow: http pattern (0) + generic (2); the dns pattern in the
+	// payload must NOT alert (wrong group).
+	wantHTTP := []int32{0, 2}
+	wantDNS := []int32{1, 2}
+	checkIDs(t, "http flow", byFlow[80], wantHTTP)
+	checkIDs(t, "dns flow", byFlow[53], wantDNS)
+}
+
+func checkIDs(t *testing.T, what string, got, want []int32) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != len(want) {
+		t.Fatalf("%s: alerts %v, want pattern IDs %v", what, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: alerts %v, want pattern IDs %v", what, got, want)
+		}
+	}
+}
+
+func TestAlertsCarryOriginalPatternIDs(t *testing.T) {
+	// The FTP pattern has original ID 3 but is pattern 1 inside its
+	// group subset; alerts must carry 3.
+	set := mixedRuleSet()
+	flows := map[netsim.FlowKey][]byte{
+		key(1, 21): []byte("USER x ftp-bounce-q PASS"),
+	}
+	segs := netsim.Packetize(flows, netsim.PacketizeOptions{Seed: 2})
+	alerts := collect(t, set, segs)
+	if len(alerts) != 1 || alerts[0].PatternID != 3 {
+		t.Fatalf("alerts %+v, want single alert with original ID 3", alerts)
+	}
+}
+
+func TestUnknownServiceUsesGenericGroup(t *testing.T) {
+	set := mixedRuleSet()
+	flows := map[netsim.FlowKey][]byte{
+		key(1, 9999): []byte("generic-bad-001 and http-attack-xyz here"),
+	}
+	segs := netsim.Packetize(flows, netsim.PacketizeOptions{Seed: 3})
+	alerts := collect(t, set, segs)
+	if len(alerts) != 1 || alerts[0].PatternID != 2 {
+		t.Fatalf("generic routing wrong: %+v", alerts)
+	}
+}
+
+func TestMatchesSpanningSegmentsAndReordering(t *testing.T) {
+	set := vpatch.NewPatternSet()
+	set.Add([]byte("SPANNING-ATTACK-PATTERN"), false, vpatch.ProtoHTTP)
+	payload := make([]byte, 8<<10)
+	for i := range payload {
+		payload[i] = 'x'
+	}
+	copy(payload[4000:], "SPANNING-ATTACK-PATTERN")
+	flows := map[netsim.FlowKey][]byte{key(1, 80): payload}
+	// Tiny MTU + heavy jitter: the pattern spans many segments arriving
+	// out of order.
+	segs := netsim.Packetize(flows, netsim.PacketizeOptions{
+		MTU: 7, Jitter: 10, DuplicateFrac: 0.15, Seed: 5,
+	})
+	alerts := collect(t, set, segs)
+	if len(alerts) != 1 {
+		t.Fatalf("%d alerts, want 1", len(alerts))
+	}
+	if alerts[0].StreamOffset != 4000 {
+		t.Fatalf("alert offset %d, want 4000", alerts[0].StreamOffset)
+	}
+}
+
+// End-to-end cross-check: the pipeline must report exactly the matches a
+// direct scan of each reassembled stream against its applicable subset
+// reports.
+func TestEndToEndAgainstDirectScan(t *testing.T) {
+	full := patterns.GenerateS1(5).Subset(150, 2)
+	set := vpatch.PatternSet(*full)
+	flows := map[netsim.FlowKey][]byte{
+		key(1, 80):   traffic.Synthesize(traffic.ISCXDay2, 16<<10, 1, full),
+		key(2, 80):   traffic.Synthesize(traffic.ISCXDay6, 16<<10, 2, full),
+		key(3, 9999): traffic.Synthesize(traffic.DARPA2000, 16<<10, 3, full),
+	}
+	segs := netsim.Packetize(flows, netsim.PacketizeOptions{
+		MTU: 1000, Jitter: 5, DuplicateFrac: 0.05, Seed: 9,
+	})
+	alerts := collect(t, &set, segs)
+
+	// Reference: per flow, scan the whole stream with the flow's subset.
+	want := 0
+	for k, data := range flows {
+		proto := vpatch.ProtoHTTP
+		if k.DstPort == 9999 {
+			proto = vpatch.ProtoGeneric
+		}
+		for i := range set.Patterns() {
+			p := &set.Patterns()[i]
+			if p.Proto != proto && p.Proto != vpatch.ProtoGeneric {
+				continue
+			}
+			for pos := 0; pos < len(data); pos++ {
+				if p.MatchesAt(data, pos) {
+					want++
+				}
+			}
+		}
+	}
+	if len(alerts) != want {
+		t.Fatalf("pipeline reported %d alerts, direct scan %d", len(alerts), want)
+	}
+}
+
+func TestGroupSizesAndDiagnostics(t *testing.T) {
+	set := mixedRuleSet()
+	var alerts []Alert
+	e, err := NewEngine(set, vpatch.Options{}, func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := e.GroupSizes()
+	// Each protocol group = its rule + the generic rule.
+	if sizes[vpatch.ProtoHTTP] != 2 || sizes[vpatch.ProtoDNS] != 2 || sizes[vpatch.ProtoGeneric] != 1 {
+		t.Fatalf("group sizes %v", sizes)
+	}
+	if e.Flows() != 0 || e.PendingBytes() != 0 {
+		t.Fatal("fresh engine has state")
+	}
+	e.HandleSegment(netsim.Segment{Flow: key(1, 80), Seq: 0, Payload: []byte("x")})
+	if e.Flows() != 1 {
+		t.Fatalf("Flows = %d", e.Flows())
+	}
+}
+
+func TestAllAlgorithmsThroughPipeline(t *testing.T) {
+	set := mixedRuleSet()
+	flows := map[netsim.FlowKey][]byte{
+		key(1, 80): []byte("xx http-attack-xyz yy generic-bad-001 zz"),
+	}
+	segs := netsim.Packetize(flows, netsim.PacketizeOptions{MTU: 9, Seed: 4})
+	for _, alg := range []vpatch.Algorithm{
+		vpatch.AlgoVPatch, vpatch.AlgoSPatch, vpatch.AlgoDFC,
+		vpatch.AlgoAhoCorasick, vpatch.AlgoWuManber, vpatch.AlgoFFBF,
+	} {
+		var alerts []Alert
+		e, err := NewEngine(set, vpatch.Options{Algorithm: alg}, func(a Alert) { alerts = append(alerts, a) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range segs {
+			e.HandleSegment(s)
+		}
+		if len(alerts) != 2 {
+			t.Fatalf("%v: %d alerts, want 2", alg, len(alerts))
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package ahocorasick
+
+import (
+	"vpatch/internal/metrics"
+	"vpatch/internal/patterns"
+)
+
+// Banded-row representation, after the Snort acsmx2 format the paper
+// cites as related work [26] (Norton, "Optimizing Pattern Matching for
+// Intrusion Detection"): variants that "decrease the size of the state
+// transition table ... but come at an increased search cost".
+//
+// Each full-DFA row is stored as the minimal contiguous byte range (the
+// band) in which it differs from the root row; lookups outside the band
+// fall back to the dense root row. Deep states have narrow bands, so the
+// automaton shrinks by an order of magnitude, while every transition now
+// costs a range check plus a possible second (root-row) access — the
+// increased search cost.
+
+// bandedRow is one state's compressed transition row.
+type bandedRow struct {
+	lo   uint8
+	next []int32 // transitions for bytes [lo, lo+len(next))
+}
+
+// buildBanded compresses the DFA in BFS order. It requires m.outputs to
+// be populated and consumes the build trie.
+func (m *Matcher) buildBanded(nodes []*buildNode, bfs []int32) {
+	m.banded = true
+	// Dense root row: the fallback target of every out-of-band lookup.
+	m.rootRow = make([]int32, 256)
+	for c := 0; c < 256; c++ {
+		if t, ok := nodes[0].children[byte(c)]; ok {
+			m.rootRow[c] = t
+		}
+	}
+	m.bands = make([]bandedRow, m.states)
+
+	// Scratch full row, recomputed per state from the failure state's
+	// already-banded row. BFS order guarantees fail(s) is finished
+	// before s (failure states are strictly shallower).
+	row := make([]int32, 256)
+	for _, s := range bfs {
+		fail := nodes[s].fail
+		for c := 0; c < 256; c++ {
+			if t, ok := nodes[s].children[byte(c)]; ok {
+				row[c] = t
+			} else {
+				row[c] = m.bandedNext(fail, byte(c))
+			}
+		}
+		lo, hi := -1, -2
+		for c := 0; c < 256; c++ {
+			if row[c] != m.rootRow[c] {
+				if lo < 0 {
+					lo = c
+				}
+				hi = c
+			}
+		}
+		if lo >= 0 {
+			band := make([]int32, hi-lo+1)
+			copy(band, row[lo:hi+1])
+			m.bands[s] = bandedRow{lo: uint8(lo), next: band}
+		}
+	}
+}
+
+// bandedNext is the banded transition function.
+func (m *Matcher) bandedNext(s int32, c byte) int32 {
+	b := &m.bands[s]
+	if i := int(c) - int(b.lo); i >= 0 && i < len(b.next) {
+		return b.next[i]
+	}
+	return m.rootRow[c]
+}
+
+// scanBanded walks the banded DFA.
+func (m *Matcher) scanBanded(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	s := int32(0)
+	if m.folded {
+		for i := 0; i < len(input); i++ {
+			s = m.bandedNext(s, patterns.FoldByte(input[i]))
+			if len(m.outputs[s]) > 0 {
+				m.emitOutputs(s, input, i, c, emit)
+			}
+		}
+		return
+	}
+	for i := 0; i < len(input); i++ {
+		s = m.bandedNext(s, input[i])
+		if len(m.outputs[s]) > 0 {
+			m.emitOutputs(s, input, i, c, emit)
+		}
+	}
+}
+
+// bandedFootprint estimates resident bytes of the banded structure.
+func (m *Matcher) bandedFootprint() int {
+	sz := 256 * 4 // root row
+	for i := range m.bands {
+		sz += 32 + len(m.bands[i].next)*4
+	}
+	return sz
+}

@@ -1,0 +1,119 @@
+// Package core implements the paper's contribution: S-PATCH, the
+// cache-aware, vectorization-friendly redesign of DFC's filtering stage
+// (§IV-A), and V-PATCH, its vectorized version (§IV-B).
+//
+// Both algorithms share the same structure, which this file implements:
+//
+//   - The input is processed in cache-sized chunks. For each chunk a
+//     *filtering round* runs first, writing candidate positions into two
+//     temporary arrays (A_short for filter-1 hits, A_long for positions
+//     corroborated by filters 2 and 3); a *verification round* then
+//     replays the arrays against the compact hash tables. Splitting the
+//     rounds keeps each round's data structures cache-resident and — for
+//     V-PATCH — avoids mixing vector and scalar code (paper §IV-A).
+//
+//   - Filter 1 holds the short patterns (1-3 B, 2-byte index), filter 2
+//     the long patterns (>= 4 B, same index), filter 3 a multiplicative
+//     hash of 4-byte windows of the long patterns.
+//
+// S-PATCH executes the filtering round with scalar probes; V-PATCH (in
+// vpatch.go) executes it W positions at a time with gathers on the merged
+// filter.
+package core
+
+import (
+	"vpatch/internal/bitarr"
+	"vpatch/internal/filters"
+	"vpatch/internal/hashtab"
+	"vpatch/internal/metrics"
+	"vpatch/internal/patterns"
+)
+
+// DefaultChunkSize is the filtering-round granularity: 64 KB keeps the
+// chunk plus both candidate arrays inside L2 next to the filters.
+const DefaultChunkSize = 64 << 10
+
+// common holds everything S-PATCH and V-PATCH share: the filter stage,
+// the verification tables, and the reusable candidate arrays.
+type common struct {
+	set      *patterns.Set
+	fs       *filters.SPatchSet
+	verifier *hashtab.Verifier
+	chunk    int
+
+	// Candidate arrays, reset per chunk and reused across chunks/scans.
+	aShort []int32
+	aLong  []int32
+}
+
+func newCommon(set *patterns.Set, filter3Log2Bits uint, chunkSize int) common {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return common{
+		set:      set,
+		fs:       filters.BuildSPatch(set, filter3Log2Bits),
+		verifier: hashtab.Build(set),
+		chunk:    chunkSize,
+		aShort:   make([]int32, 0, 4096),
+		aLong:    make([]int32, 0, 4096),
+	}
+}
+
+// FilterSizeBytes reports the cache footprint of the filter stage.
+func (m *common) FilterSizeBytes() int { return m.fs.SizeBytes() }
+
+// Set returns the compiled pattern set.
+func (m *common) Set() *patterns.Set { return m.set }
+
+// ChunkSize returns the filtering-round chunk size in bytes.
+func (m *common) ChunkSize() int { return m.chunk }
+
+// scalarFilterPos runs the scalar S-PATCH filter chain for position i
+// (Algorithm 1, lines 4-13) and appends candidates. Used by S-PATCH for
+// every position and by V-PATCH for the sub-register tail.
+func (m *common) scalarFilterPos(input []byte, i, n int, c *metrics.Counters) {
+	if i+1 >= n {
+		// Final byte: no 2-byte window exists; only 1-byte patterns can
+		// still start here.
+		if m.fs.HasLen1 {
+			m.aShort = append(m.aShort, int32(i))
+		}
+		return
+	}
+	idx := bitarr.Index2(input[i], input[i+1])
+	if c != nil {
+		c.Filter1Probes++
+		c.Filter2Probes++
+	}
+	if m.fs.Filter1.Test(idx) {
+		m.aShort = append(m.aShort, int32(i))
+	}
+	if m.fs.Filter2.Test(idx) && i+4 <= n {
+		if c != nil {
+			c.Filter3Probes++
+		}
+		if m.fs.Filter3.Test4(bitarr.Load4(input[i:])) {
+			m.aLong = append(m.aLong, int32(i))
+		}
+	}
+}
+
+// verifyCandidates replays the candidate arrays against the compact hash
+// tables (Algorithm 1, lines 15-20).
+func (m *common) verifyCandidates(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	for _, pos := range m.aShort {
+		m.verifier.VerifyShortAt(input, int(pos), c, emit)
+	}
+	for _, pos := range m.aLong {
+		m.verifier.VerifyLongAt(input, int(pos), c, emit)
+	}
+}
+
+// recordCandidates accumulates per-chunk candidate counts.
+func (m *common) recordCandidates(c *metrics.Counters) {
+	if c != nil {
+		c.ShortCandidates += uint64(len(m.aShort))
+		c.LongCandidates += uint64(len(m.aLong))
+	}
+}

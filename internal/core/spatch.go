@@ -1,0 +1,95 @@
+package core
+
+import (
+	"vpatch/internal/metrics"
+	"vpatch/internal/patterns"
+)
+
+// SPatch is the scalar algorithm of §IV-A: DFC's filtering redesigned for
+// realistic traffic (dedicated short-pattern filter, 4-byte corroboration
+// for long patterns) and restructured into separate filtering and
+// verification rounds.
+type SPatch struct {
+	common
+}
+
+// Options configures S-PATCH construction.
+type Options struct {
+	// Filter3Log2Bits sizes filter 3 (2^n bits); 0 selects the 16 KB
+	// default. Larger filters collide less but crowd the cache.
+	Filter3Log2Bits uint
+	// ChunkSize is the filtering-round granularity; 0 selects 64 KB.
+	ChunkSize int
+}
+
+// NewSPatch compiles the pattern set.
+func NewSPatch(set *patterns.Set, opt Options) *SPatch {
+	return &SPatch{common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize)}
+}
+
+// Scan reports every occurrence of every pattern in input. c and emit may
+// be nil.
+func (m *SPatch) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	if c != nil {
+		c.BytesScanned += uint64(len(input))
+	}
+	n := len(input)
+	for start := 0; start < n; start += m.chunk {
+		end := start + m.chunk
+		if end > n {
+			end = n
+		}
+		var sw metrics.Stopwatch
+		if c != nil {
+			sw = metrics.Start()
+		}
+		m.filterChunk(input, start, end, c)
+		if c != nil {
+			c.FilteringNs += sw.Stop()
+			sw = metrics.Start()
+		}
+		m.verifyCandidates(input, c, emit)
+		if c != nil {
+			c.VerifyNs += sw.Stop()
+		}
+	}
+}
+
+// filterChunk runs the filtering round over positions [start, end),
+// filling the candidate arrays.
+func (m *SPatch) filterChunk(input []byte, start, end int, c *metrics.Counters) {
+	m.aShort = m.aShort[:0]
+	m.aLong = m.aLong[:0]
+	n := len(input)
+	for i := start; i < end; i++ {
+		m.scalarFilterPos(input, i, n, c)
+	}
+	m.recordCandidates(c)
+}
+
+// FilterOnly runs only the filtering rounds over the whole input and
+// returns copies of the accumulated candidate positions. It is the
+// "S-PATCH-filtering" measurement of Fig. 6.
+func (m *SPatch) FilterOnly(input []byte, c *metrics.Counters) (short, long []int32) {
+	if c != nil {
+		c.BytesScanned += uint64(len(input))
+	}
+	n := len(input)
+	for start := 0; start < n; start += m.chunk {
+		end := start + m.chunk
+		if end > n {
+			end = n
+		}
+		var sw metrics.Stopwatch
+		if c != nil {
+			sw = metrics.Start()
+		}
+		m.filterChunk(input, start, end, c)
+		if c != nil {
+			c.FilteringNs += sw.Stop()
+		}
+		short = append(short, m.aShort...)
+		long = append(long, m.aLong...)
+	}
+	return short, long
+}

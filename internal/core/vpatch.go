@@ -1,0 +1,312 @@
+package core
+
+import (
+	"vpatch/internal/bitarr"
+	"vpatch/internal/metrics"
+	"vpatch/internal/patterns"
+	"vpatch/internal/vec"
+)
+
+// VPatch is the vectorized algorithm of §IV-B. Its filtering round
+// processes W input positions per step (Algorithm 2):
+//
+//  1. load raw input and shuffle it into W 2-byte sliding windows;
+//  2. one gather on the *merged* filter-1/filter-2 memory brings both
+//     filters' state for all W windows into the register (Fig. 3);
+//  3. a movemask of the filter-1 bits stores hit positions into A_short;
+//  4. if any lane passed filter 2, the 4-byte windows are built and
+//     hashed *speculatively for all lanes*, one more gather probes
+//     filter 3, and the result is masked by the filter-2 hits before
+//     storing into A_long (the paper found masking cheaper than
+//     compacting the register);
+//  5. the main loop is unrolled 2x so the second block's gather can
+//     overlap the first block's mask arithmetic.
+//
+// Verification is identical to S-PATCH's second round. Every deviation
+// from this recipe is available as an ablation switch in VOptions.
+type VPatch struct {
+	common
+	eng *vec.Engine
+	opt VOptions
+
+	// sink absorbs filter masks in no-store mode (Fig. 6's
+	// "V-PATCH-filtering" variant) so the work is not dead-code.
+	sink uint32
+}
+
+// VOptions configures V-PATCH construction. The zero value is the
+// paper's configuration at AVX2 width.
+type VOptions struct {
+	// Width is the register width in 32-bit lanes: 8 (AVX2/Haswell,
+	// default) or 16 (Xeon Phi); 4 is also supported.
+	Width int
+	// Filter3Log2Bits sizes filter 3; 0 selects the 16 KB default.
+	Filter3Log2Bits uint
+	// ChunkSize is the filtering-round granularity; 0 selects 64 KB.
+	ChunkSize int
+
+	// Ablation switches (all default to the paper's design):
+	// NoFilterMerge probes filters 1 and 2 with two separate gathers
+	// instead of one merged gather.
+	NoFilterMerge bool
+	// NoUnroll disables the 2x main-loop unroll.
+	NoUnroll bool
+	// BranchyFilter3 replaces the speculative all-lane filter-3
+	// evaluation with a per-active-lane scalar loop (the alternative the
+	// paper rejected).
+	BranchyFilter3 bool
+	// ForceEngine routes even un-instrumented scans through the explicit
+	// vector engine. By default, timing runs (nil counters, paper
+	// configuration) use a fused rendition of the same computation —
+	// merged filter word fetch + speculative filter 3, lane at a time —
+	// because Go cannot express the register ops natively and the
+	// per-op emulation overhead would otherwise swamp the measurement.
+	// Candidate output is bit-identical either way (tested).
+	ForceEngine bool
+}
+
+// NewVPatch compiles the pattern set.
+func NewVPatch(set *patterns.Set, opt VOptions) *VPatch {
+	if opt.Width == 0 {
+		opt.Width = 8
+	}
+	return &VPatch{
+		common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize),
+		eng:    vec.New(opt.Width),
+		opt:    opt,
+	}
+}
+
+// Width returns the vector width in lanes.
+func (m *VPatch) Width() int { return m.eng.Width() }
+
+// Scan reports every occurrence of every pattern in input. c and emit may
+// be nil.
+func (m *VPatch) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	if c != nil {
+		c.BytesScanned += uint64(len(input))
+	}
+	n := len(input)
+	for start := 0; start < n; start += m.chunk {
+		end := start + m.chunk
+		if end > n {
+			end = n
+		}
+		var sw metrics.Stopwatch
+		if c != nil {
+			sw = metrics.Start()
+		}
+		m.filterChunk(input, start, end, c, true)
+		if c != nil {
+			c.FilteringNs += sw.Stop()
+			sw = metrics.Start()
+		}
+		m.verifyCandidates(input, c, emit)
+		if c != nil {
+			c.VerifyNs += sw.Stop()
+		}
+	}
+}
+
+// FilterOnly runs only the filtering rounds. With stores=true candidate
+// positions are accumulated and returned (Fig. 6 "V-PATCH-filtering+
+// stores"); with stores=false the store step is suppressed and only
+// counts are returned (Fig. 6 "V-PATCH-filtering").
+func (m *VPatch) FilterOnly(input []byte, c *metrics.Counters, stores bool) (short, long []int32) {
+	if c != nil {
+		c.BytesScanned += uint64(len(input))
+	}
+	n := len(input)
+	for start := 0; start < n; start += m.chunk {
+		end := start + m.chunk
+		if end > n {
+			end = n
+		}
+		var sw metrics.Stopwatch
+		if c != nil {
+			sw = metrics.Start()
+		}
+		m.filterChunk(input, start, end, c, stores)
+		if c != nil {
+			c.FilteringNs += sw.Stop()
+		}
+		if stores {
+			short = append(short, m.aShort...)
+			long = append(long, m.aLong...)
+		}
+	}
+	return short, long
+}
+
+// filterChunk runs the vectorized filtering round over positions
+// [start, end). Reads may extend up to 3 bytes past end (within input)
+// because 4-byte windows straddle the chunk boundary, exactly like the
+// scalar algorithm.
+func (m *VPatch) filterChunk(input []byte, start, end int, c *metrics.Counters, stores bool) {
+	m.aShort = m.aShort[:0]
+	m.aLong = m.aLong[:0]
+	if c == nil && !m.opt.ForceEngine && !m.opt.NoFilterMerge && !m.opt.BranchyFilter3 {
+		m.fusedFilterRange(input, start, end, stores)
+		return
+	}
+	n := len(input)
+	w := m.eng.Width()
+
+	// Last vector base: all W lanes inside the chunk, and every lane's
+	// 4-byte window inside the input.
+	vecEnd := end - w
+	if lim := n - w - 3; lim < vecEnd {
+		vecEnd = lim
+	}
+	i := start
+	if !m.opt.NoUnroll {
+		// 2x unroll: two W-position blocks per iteration (two
+		// independent register pipelines, paper §IV-B last paragraph).
+		for ; i+w <= vecEnd; i += 2 * w {
+			m.filterBlock(input, i, c, stores)
+			m.filterBlock(input, i+w, c, stores)
+		}
+	}
+	for ; i <= vecEnd; i += w {
+		m.filterBlock(input, i, c, stores)
+	}
+	// Scalar tail: the final sub-register positions of the chunk.
+	for ; i < end; i++ {
+		m.scalarFilterPos(input, i, n, c)
+	}
+	m.recordCandidates(c)
+}
+
+// fusedFilterRange is the timing-run rendition of the vector filtering
+// round: exactly the computation filterBlock performs — one merged
+// filter-1/2 word fetch per window, speculative hashed filter-3 probe —
+// expressed as a fused loop instead of per-op emulated registers. It
+// produces bit-identical candidate arrays (see TestCandidateArraysIdentical)
+// and carries V-PATCH's two structural advantages over S-PATCH that
+// survive without SIMD hardware: half the filter lookups (merging) and a
+// branch-light inner loop.
+func (m *VPatch) fusedFilterRange(input []byte, start, end int, stores bool) {
+	words := m.fs.Merged.Words()
+	f3 := m.fs.Filter3.Bytes()
+	shift := m.fs.Filter3.Shift()
+	n := len(input)
+
+	mainEnd := end
+	if n-3 < mainEnd {
+		mainEnd = n - 3 // positions with a full 4-byte window in range
+	}
+	i := start
+	for ; i < mainEnd; i++ {
+		idx := uint32(input[i]) | uint32(input[i+1])<<8
+		wd := words[idx>>3]
+		bit := idx & 7
+		if wd&(1<<bit) != 0 {
+			if stores {
+				m.aShort = append(m.aShort, int32(i))
+			} else {
+				m.sink ^= uint32(i)
+			}
+		}
+		if wd&(1<<(bit+8)) != 0 {
+			v := uint32(input[i]) | uint32(input[i+1])<<8 |
+				uint32(input[i+2])<<16 | uint32(input[i+3])<<24
+			key := (v * bitarr.MulHashConst) >> shift
+			if f3[key>>3]&(1<<(key&7)) != 0 {
+				if stores {
+					m.aLong = append(m.aLong, int32(i))
+				} else {
+					m.sink ^= uint32(i) << 8
+				}
+			}
+		}
+	}
+	// Positions with fewer than 4 bytes left: scalar chain with guards.
+	for ; i < end; i++ {
+		m.scalarFilterPos(input, i, n, nil)
+	}
+}
+
+// filterBlock filters the W positions base..base+W-1 (Algorithm 2 body).
+func (m *VPatch) filterBlock(input []byte, base int, c *metrics.Counters, stores bool) {
+	eng := m.eng
+	fs := m.fs
+	w := eng.Width()
+
+	// Lines 7-8: raw load + shuffle into 2-byte windows.
+	idx := eng.Windows2(input, base)
+	byteIdx := eng.ShiftRightConst(idx, 3)
+	bit := eng.AndConst(idx, 7)
+
+	// Lines 9 & 13, merged (Fig. 3): one gather yields both filters.
+	var hit1, hit2 vec.Mask
+	if !m.opt.NoFilterMerge {
+		words := eng.GatherU16(fs.Merged.Words(), byteIdx)
+		hit1 = eng.TestBit(words, bit)
+		hit2 = eng.TestBit(words, eng.AddConst(bit, 8))
+		if c != nil {
+			c.Gathers++
+			c.MergedGathers++
+		}
+	} else {
+		w1 := eng.GatherU8(fs.Filter1.Bytes(), byteIdx)
+		w2 := eng.GatherU8(fs.Filter2.Bytes(), byteIdx)
+		hit1 = eng.TestBit(w1, bit)
+		hit2 = eng.TestBit(w2, bit)
+		if c != nil {
+			c.Gathers += 2
+		}
+	}
+	if c != nil {
+		c.VectorIters++
+		c.Filter1Probes += uint64(w)
+		c.Filter2Probes += uint64(w)
+	}
+
+	// Lines 10-12: store filter-1 hits into A_short.
+	if hit1.Any() {
+		if stores {
+			m.aShort = eng.CompressStore(m.aShort, int32(base), hit1)
+		} else {
+			m.sink ^= uint32(hit1)
+		}
+	}
+
+	// Lines 14-20: speculative filter 3, masked by the filter-2 hits.
+	if !hit2.Any() {
+		return
+	}
+	if c != nil {
+		c.Filter3Blocks++
+		c.Filter3UsefulLanes += uint64(hit2.Count())
+	}
+	var hit3 vec.Mask
+	if m.opt.BranchyFilter3 {
+		// The rejected alternative: per-lane scalar probing of only the
+		// useful lanes.
+		hit2.ForEach(func(lane int) {
+			if c != nil {
+				c.Filter3Probes++
+			}
+			if fs.Filter3.Test4(bitarr.Load4(input[base+lane:])) {
+				hit3 |= 1 << lane
+			}
+		})
+	} else {
+		// Speculative: hash and gather for all W lanes, then mask.
+		vals := eng.Windows4(input, base)
+		keys := eng.ShiftRightConst(eng.MulConst(vals, bitarr.MulHashConst), fs.Filter3.Shift())
+		f3words := eng.GatherU8(fs.Filter3.Bytes(), eng.ShiftRightConst(keys, 3))
+		hit3 = eng.TestBit(f3words, eng.AndConst(keys, 7)) & hit2
+		if c != nil {
+			c.Gathers++
+			c.Filter3Probes += uint64(w)
+		}
+	}
+	if hit3.Any() {
+		if stores {
+			m.aLong = eng.CompressStore(m.aLong, int32(base), hit3)
+		} else {
+			m.sink ^= uint32(hit3) << 16
+		}
+	}
+}

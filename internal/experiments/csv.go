@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: every figure can be written as a plotting-ready file, so
+// the paper's charts can be regenerated with any plotting tool.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// WriteThroughputCSV exports Fig 4 / Fig 7 rows.
+func WriteThroughputCSV(dir, name string, rows []FigThroughputRow) error {
+	out := make([][]string, 0, len(rows)*5)
+	for _, row := range rows {
+		for i, cell := range row.Cells {
+			out = append(out, []string{
+				row.Dataset, cell.Kind.String(),
+				ftoa(cell.WallGbps), ftoa(cell.ModelGbps), ftoa(row.SpeedupVsDFC(i)),
+			})
+		}
+	}
+	return writeCSV(dir, name,
+		[]string{"dataset", "algorithm", "wall_gbps", "model_gbps", "speedup_vs_dfc"}, out)
+}
+
+// WriteFig5aCSV exports the pattern-count sweep.
+func WriteFig5aCSV(dir, name string, pts []Fig5aPoint) error {
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, []string{
+			strconv.Itoa(p.Patterns),
+			ftoa(p.SPatch.ModelGbps), ftoa(p.VPatch.ModelGbps),
+			ftoa(p.ModelSpeedup), ftoa(p.WallSpeedup),
+		})
+	}
+	return writeCSV(dir, name,
+		[]string{"patterns", "spatch_gbps", "vpatch_gbps", "model_speedup", "wall_speedup"}, out)
+}
+
+// WriteFig5bCSV exports the phase-balance/occupancy sweep.
+func WriteFig5bCSV(dir, name string, pts []Fig5bPoint) error {
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, []string{
+			strconv.Itoa(p.Patterns), ftoa(p.FilterTimeFrac), ftoa(p.UsefulLaneFrac),
+		})
+	}
+	return writeCSV(dir, name,
+		[]string{"patterns", "filter_time_frac", "useful_lane_frac"}, out)
+}
+
+// WriteFig5cCSV exports the match-density sweep.
+func WriteFig5cCSV(dir, name string, pts []Fig5cPoint) error {
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, []string{
+			ftoa(p.MatchFrac),
+			ftoa(p.SPatch.ModelGbps), ftoa(p.VPatch.ModelGbps),
+			ftoa(p.ModelSpeedup), ftoa(p.WallSpeedup),
+		})
+	}
+	return writeCSV(dir, name,
+		[]string{"match_frac", "spatch_gbps", "vpatch_gbps", "model_speedup", "wall_speedup"}, out)
+}
+
+// WriteFig6CSV exports the filtering-only cells.
+func WriteFig6CSV(dir, name string, cells []Fig6Cell) error {
+	out := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, []string{c.Dataset, c.Variant, ftoa(c.WallGbps), ftoa(c.ModelGbps)})
+	}
+	return writeCSV(dir, name,
+		[]string{"dataset", "variant", "wall_gbps", "model_gbps"}, out)
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vpatch/internal/costmodel"
+	"vpatch/internal/patterns"
+)
+
+var testCfg = Config{TrafficBytes: 512 << 10, Seed: 1, Repeats: 1}
+
+func testSet(t *testing.T) *patterns.Set {
+	t.Helper()
+	return patterns.GenerateS1(1).WebSubset()
+}
+
+func TestDatasetsOrderAndSize(t *testing.T) {
+	ds := Datasets(testCfg, nil)
+	names := []string{"ISCX day2", "ISCX day6", "DARPA 2000", "random"}
+	if len(ds) != 4 {
+		t.Fatalf("%d datasets", len(ds))
+	}
+	for i, d := range ds {
+		if d.Name != names[i] {
+			t.Fatalf("dataset %d = %q, want %q (paper order)", i, d.Name, names[i])
+		}
+		if len(d.Data) != testCfg.TrafficBytes {
+			t.Fatalf("%s: %d bytes", d.Name, len(d.Data))
+		}
+		if d.Real == (d.Name == "random") {
+			t.Fatalf("%s: Real flag wrong", d.Name)
+		}
+	}
+}
+
+func TestBuildAlgosOrder(t *testing.T) {
+	algos := BuildAlgos(patterns.FromStrings("abcd", "xy"), 8)
+	want := []costmodel.Kind{
+		costmodel.KindAhoCorasick, costmodel.KindDFC, costmodel.KindVectorDFC,
+		costmodel.KindSPatch, costmodel.KindVPatch,
+	}
+	if len(algos) != len(want) {
+		t.Fatalf("%d algos", len(algos))
+	}
+	for i, a := range algos {
+		if a.Kind != want[i] {
+			t.Fatalf("algo %d = %v, want %v (paper order)", i, a.Kind, want[i])
+		}
+	}
+	if algos[0].DFABytes == 0 {
+		t.Fatal("AC missing automaton size")
+	}
+	if algos[4].Width != 8 {
+		t.Fatal("V-PATCH width not recorded")
+	}
+}
+
+// The headline result (Fig 4a): on realistic traffic under the Haswell
+// model, V-PATCH beats S-PATCH beats DFC, and V-PATCH's margin over DFC
+// is at least ~1.5x (paper: up to 1.86x).
+func TestFig4ShapeHaswell(t *testing.T) {
+	rows := FigThroughput(testCfg, testSet(t), costmodel.Haswell, 8)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		g := map[costmodel.Kind]float64{}
+		for _, cell := range row.Cells {
+			if cell.ModelGbps <= 0 {
+				t.Fatalf("%s/%v: non-positive modeled throughput", row.Dataset, cell.Kind)
+			}
+			if cell.Counters.Matches == 0 {
+				t.Fatalf("%s/%v: no matches counted", row.Dataset, cell.Kind)
+			}
+			g[cell.Kind] = cell.ModelGbps
+		}
+		// All algorithms must agree on the match count (correctness).
+		first := row.Cells[0].Counters.Matches
+		for _, cell := range row.Cells[1:] {
+			if cell.Counters.Matches != first {
+				t.Fatalf("%s: %v found %d matches, %v found %d", row.Dataset,
+					row.Cells[0].Kind, first, cell.Kind, cell.Counters.Matches)
+			}
+		}
+		if row.Dataset == "random" {
+			// Random data: DFC shines, S-PATCH falls below it (paper).
+			if g[costmodel.KindSPatch] >= g[costmodel.KindDFC] {
+				t.Errorf("random: S-PATCH %.2f >= DFC %.2f (paper has it below)",
+					g[costmodel.KindSPatch], g[costmodel.KindDFC])
+			}
+			continue
+		}
+		if g[costmodel.KindVPatch] <= g[costmodel.KindSPatch] {
+			t.Errorf("%s: V-PATCH %.2f <= S-PATCH %.2f", row.Dataset,
+				g[costmodel.KindVPatch], g[costmodel.KindSPatch])
+		}
+		if g[costmodel.KindSPatch] <= g[costmodel.KindDFC] {
+			t.Errorf("%s: S-PATCH %.2f <= DFC %.2f", row.Dataset,
+				g[costmodel.KindSPatch], g[costmodel.KindDFC])
+		}
+		if ratio := g[costmodel.KindVPatch] / g[costmodel.KindDFC]; ratio < 1.5 {
+			t.Errorf("%s: V-PATCH only %.2fx DFC (paper: ~1.8x)", row.Dataset, ratio)
+		}
+	}
+}
+
+// Fig 7 shape: on the Phi model (no L3, in-order, W=16) AC catches up
+// with DFC on realistic traces, and V-PATCH's speedup exceeds Haswell's
+// (paper: 3.6x vs 1.8x).
+func TestFig7ShapeXeonPhi(t *testing.T) {
+	set := testSet(t)
+	phi := FigThroughput(testCfg, set, costmodel.XeonPhi, 16)
+	hw := FigThroughput(testCfg, set, costmodel.Haswell, 8)
+	for i, row := range phi {
+		g := map[costmodel.Kind]float64{}
+		for _, cell := range row.Cells {
+			g[cell.Kind] = cell.ModelGbps
+		}
+		if !strings.Contains(row.Dataset, "random") {
+			if g[costmodel.KindAhoCorasick] < 0.9*g[costmodel.KindDFC] {
+				t.Errorf("Phi %s: AC %.3f far below DFC %.3f (paper: AC >= DFC on Phi)",
+					row.Dataset, g[costmodel.KindAhoCorasick], g[costmodel.KindDFC])
+			}
+			phiSpeedup := g[costmodel.KindVPatch] / g[costmodel.KindDFC]
+			var hwG map[costmodel.Kind]float64 = map[costmodel.Kind]float64{}
+			for _, cell := range hw[i].Cells {
+				hwG[cell.Kind] = cell.ModelGbps
+			}
+			hwSpeedup := hwG[costmodel.KindVPatch] / hwG[costmodel.KindDFC]
+			if phiSpeedup <= hwSpeedup {
+				t.Errorf("%s: Phi V-PATCH speedup %.2f <= Haswell %.2f (paper: 3.6x vs 1.8x)",
+					row.Dataset, phiSpeedup, hwSpeedup)
+			}
+			if phiSpeedup < 2.0 {
+				t.Errorf("%s: Phi V-PATCH speedup only %.2f", row.Dataset, phiSpeedup)
+			}
+		}
+		// Absolute Phi throughput must be far below Haswell (1.1 GHz
+		// in-order core).
+		if g[costmodel.KindDFC] > 1.0 {
+			t.Errorf("Phi DFC %.2f Gbps implausibly high", g[costmodel.KindDFC])
+		}
+	}
+}
+
+func TestSpeedupVsDFCIsOneForDFC(t *testing.T) {
+	rows := FigThroughput(testCfg, testSet(t), costmodel.Haswell, 8)
+	for _, row := range rows {
+		for i, cell := range row.Cells {
+			if cell.Kind == costmodel.KindDFC {
+				if s := row.SpeedupVsDFC(i); s < 0.999 || s > 1.001 {
+					t.Fatalf("DFC speedup vs itself = %v", s)
+				}
+			}
+		}
+	}
+}
+
+func TestFig5aSweep(t *testing.T) {
+	full := patterns.GenerateS2(1)
+	pts := Fig5a(testCfg, full, []int{1000, 5000}, costmodel.Haswell, 8)
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.ModelSpeedup <= 1.0 {
+			t.Errorf("%d patterns: V-PATCH model speedup %.2f <= 1", p.Patterns, p.ModelSpeedup)
+		}
+	}
+	// Throughput decreases with more patterns (paper Fig 5a).
+	if pts[1].SPatch.ModelGbps >= pts[0].SPatch.ModelGbps {
+		t.Errorf("S-PATCH throughput did not drop with 5x patterns: %.2f -> %.2f",
+			pts[0].SPatch.ModelGbps, pts[1].SPatch.ModelGbps)
+	}
+}
+
+func TestFig5bSweep(t *testing.T) {
+	full := patterns.GenerateS2(1)
+	pts := Fig5b(testCfg, full, []int{1000, 10000}, 8)
+	for _, p := range pts {
+		if p.FilterTimeFrac <= 0 || p.FilterTimeFrac > 1 {
+			t.Fatalf("%d patterns: filter time fraction %v", p.Patterns, p.FilterTimeFrac)
+		}
+		if p.UsefulLaneFrac <= 0 || p.UsefulLaneFrac > 1 {
+			t.Fatalf("%d patterns: useful lane fraction %v", p.Patterns, p.UsefulLaneFrac)
+		}
+	}
+	// Paper Fig 5b: with more patterns, verification grows (filtering
+	// fraction falls) and vector occupancy rises.
+	if pts[1].UsefulLaneFrac <= pts[0].UsefulLaneFrac {
+		t.Errorf("useful lanes did not rise with patterns: %.3f -> %.3f",
+			pts[0].UsefulLaneFrac, pts[1].UsefulLaneFrac)
+	}
+	if pts[1].FilterTimeFrac >= pts[0].FilterTimeFrac {
+		t.Errorf("filtering fraction did not fall with patterns: %.3f -> %.3f",
+			pts[0].FilterTimeFrac, pts[1].FilterTimeFrac)
+	}
+}
+
+func TestFig5cSweep(t *testing.T) {
+	set := patterns.GenerateS2(1).Subset(2000, 1)
+	pts := Fig5c(testCfg, set, []float64{0, 0.6}, costmodel.Haswell, 8)
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.SPatch.ModelGbps <= 0 || p.VPatch.ModelGbps <= 0 {
+			t.Fatal("non-positive throughput")
+		}
+	}
+	// More matches -> lower absolute throughput (verification load).
+	if pts[1].SPatch.ModelGbps >= pts[0].SPatch.ModelGbps {
+		t.Errorf("S-PATCH did not slow down with matches: %.2f -> %.2f",
+			pts[0].SPatch.ModelGbps, pts[1].SPatch.ModelGbps)
+	}
+}
+
+func TestFig6VariantsAndShape(t *testing.T) {
+	cells := Fig6(testCfg, testSet(t), costmodel.Haswell, 8)
+	// 3 realistic datasets x 3 variants.
+	if len(cells) != 9 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	byKey := map[string]Fig6Cell{}
+	for _, c := range cells {
+		byKey[c.Dataset+"/"+c.Variant] = c
+	}
+	for _, ds := range []string{"ISCX day2", "ISCX day6", "DARPA 2000"} {
+		scalar := byKey[ds+"/S-PATCH-filtering"].ModelGbps
+		withStores := byKey[ds+"/V-PATCH-filtering+stores"].ModelGbps
+		noStores := byKey[ds+"/V-PATCH-filtering"].ModelGbps
+		if scalar <= 0 || withStores <= 0 || noStores <= 0 {
+			t.Fatalf("%s: non-positive cell", ds)
+		}
+		if withStores <= scalar {
+			t.Errorf("%s: vector filtering %.2f <= scalar %.2f", ds, withStores, scalar)
+		}
+		if noStores < withStores {
+			t.Errorf("%s: removing stores slowed filtering: %.2f < %.2f", ds, noStores, withStores)
+		}
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	set := testSet(t)
+	var buf bytes.Buffer
+	rows := FigThroughput(testCfg, set, costmodel.Haswell, 8)
+	PrintThroughputRows(&buf, "Fig test", rows)
+	out := buf.String()
+	for _, want := range []string{"Fig test", "ISCX day2", "V-PATCH", "speedup_vs_dfc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("throughput table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	PrintFig5a(&buf, Fig5a(testCfg, set, []int{500}, costmodel.Haswell, 8))
+	if !strings.Contains(buf.String(), "patterns") {
+		t.Fatal("Fig5a printer broken")
+	}
+	buf.Reset()
+	PrintFig5b(&buf, Fig5b(testCfg, set, []int{500}, 8))
+	if !strings.Contains(buf.String(), "useful_lanes") {
+		t.Fatal("Fig5b printer broken")
+	}
+	buf.Reset()
+	PrintFig5c(&buf, Fig5c(testCfg, set.Subset(300, 1), []float64{0.1}, costmodel.Haswell, 8))
+	if !strings.Contains(buf.String(), "match_frac") {
+		t.Fatal("Fig5c printer broken")
+	}
+	buf.Reset()
+	PrintFig6(&buf, "Fig 6 test", Fig6(testCfg, set.Subset(300, 1), costmodel.Haswell, 8))
+	if !strings.Contains(buf.String(), "vs_scalar") {
+		t.Fatal("Fig6 printer broken")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	dir := t.TempDir()
+	set := testSet(t).Subset(400, 1)
+	rows := FigThroughput(testCfg, set, costmodel.Haswell, 8)
+	if err := WriteThroughputCSV(dir, "fig4a.csv", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig5aCSV(dir, "fig5a.csv", Fig5a(testCfg, set, []int{200}, costmodel.Haswell, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig5bCSV(dir, "fig5b.csv", Fig5b(testCfg, set, []int{200}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig5cCSV(dir, "fig5c.csv", Fig5c(testCfg, set, []float64{0.1}, costmodel.Haswell, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig6CSV(dir, "fig6.csv", Fig6(testCfg, set, costmodel.Haswell, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for name, wantRows := range map[string]int{
+		"fig4a.csv": 4*5 + 1, "fig5a.csv": 2, "fig5b.csv": 2, "fig5c.csv": 2, "fig6.csv": 10,
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines != wantRows {
+			t.Errorf("%s has %d lines, want %d", name, lines, wantRows)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.TrafficBytes != 4<<20 || c.Repeats != 3 || c.Seed != 1 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}

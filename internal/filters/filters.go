@@ -1,0 +1,189 @@
+// Package filters builds the cache-resident filter structures of DFC and
+// S-PATCH/V-PATCH from a pattern set. It owns the one subtle part of
+// filter construction: case-insensitive patterns must set a filter bit for
+// *every case variant* of their indexed bytes (a nocase pattern "get" must
+// make the windows "GE", "Ge", "gE", "ge" all pass), so that filters keep
+// the no-false-negative guarantee verification relies on.
+package filters
+
+import (
+	"vpatch/internal/bitarr"
+	"vpatch/internal/patterns"
+)
+
+// variants returns the byte values that fold to b: for a lower-case
+// letter, itself and its upper-case form; otherwise just b. Patterns
+// store nocase data folded, so b is never upper-case for nocase adds.
+func variants(b byte) [2]byte {
+	if b >= 'a' && b <= 'z' {
+		return [2]byte{b, b - ('a' - 'A')}
+	}
+	return [2]byte{b, b}
+}
+
+// eachVariant2 calls fn for every case-variant pair of (b0, b1) under
+// nocase, or once with (b0, b1) otherwise. Duplicate pairs (non-letters)
+// are harmless: filter Set is idempotent.
+func eachVariant2(b0, b1 byte, nocase bool, fn func(a, b byte)) {
+	if !nocase {
+		fn(b0, b1)
+		return
+	}
+	v0, v1 := variants(b0), variants(b1)
+	fn(v0[0], v1[0])
+	fn(v0[0], v1[1])
+	fn(v0[1], v1[0])
+	fn(v0[1], v1[1])
+}
+
+// AddPrefix2 registers pattern p's starting 2-byte window(s) in f.
+// One-byte patterns set every window whose first byte matches (they can
+// start anywhere regardless of the following byte).
+func AddPrefix2(f *bitarr.DirectFilter16, p *patterns.Pattern) {
+	if len(p.Data) == 1 {
+		for _, b := range variantsList(p.Data[0], p.Nocase) {
+			f.AddAllSecond(b)
+		}
+		return
+	}
+	eachVariant2(p.Data[0], p.Data[1], p.Nocase, f.AddPrefix2)
+}
+
+// AddNext2 registers pattern p's second 2-byte window (bytes 2-3) in f —
+// DFC's progressive filter for long patterns. p must be >= 4 bytes.
+func AddNext2(f *bitarr.DirectFilter16, p *patterns.Pattern) {
+	eachVariant2(p.Data[2], p.Data[3], p.Nocase, f.AddPrefix2)
+}
+
+// AddHash4 registers pattern p's 4-byte prefix in the hash filter,
+// expanding all case variants (up to 16) for nocase patterns. p must be
+// >= 4 bytes.
+func AddHash4(f *bitarr.HashFilter, p *patterns.Pattern) {
+	if !p.Nocase {
+		f.Add4(bitarr.Load4(p.Data))
+		return
+	}
+	v := [4][2]byte{
+		variants(p.Data[0]), variants(p.Data[1]),
+		variants(p.Data[2]), variants(p.Data[3]),
+	}
+	for mask := 0; mask < 16; mask++ {
+		f.Add4(bitarr.Index2(v[0][mask&1], v[1][mask>>1&1]) |
+			bitarr.Index2(v[2][mask>>2&1], v[3][mask>>3&1])<<16)
+	}
+}
+
+func variantsList(b byte, nocase bool) []byte {
+	if !nocase {
+		return []byte{b}
+	}
+	v := variants(b)
+	if v[0] == v[1] {
+		return []byte{b}
+	}
+	return []byte{v[0], v[1]}
+}
+
+// SPatchSet is the complete filter stage of S-PATCH/V-PATCH (paper §IV-A,
+// Fig. 1): filter 1 over short patterns (1-3 B, 2-byte index), filter 2
+// over long patterns (>= 4 B, same 2-byte index), filter 3 over long
+// patterns (multiplicative hash of the 4-byte prefix), plus the merged
+// interleaving of filters 1 and 2 for V-PATCH's single-gather lookup.
+type SPatchSet struct {
+	Filter1 *bitarr.DirectFilter16
+	Filter2 *bitarr.DirectFilter16
+	Filter3 *bitarr.HashFilter
+	Merged  *bitarr.MergedFilter
+
+	// HasShort/HasLong record whether each class is populated, letting
+	// scan loops skip dead stages.
+	HasShort bool
+	HasLong  bool
+	// HasLen1 records the presence of 1-byte patterns (they can match at
+	// the final input byte, where no 2-byte window exists).
+	HasLen1 bool
+}
+
+// DefaultFilter3Log2Bits sizes filter 3 at 2^17 bits = 16 KB: together
+// with the two 8 KB direct filters the stage fits comfortably in L1+L2,
+// the property the paper's design requires. See the Filter3Size ablation.
+const DefaultFilter3Log2Bits = 17
+
+// BuildSPatch constructs the S-PATCH filter stage for a set.
+// filter3Log2Bits == 0 selects DefaultFilter3Log2Bits.
+func BuildSPatch(set *patterns.Set, filter3Log2Bits uint) *SPatchSet {
+	if filter3Log2Bits == 0 {
+		filter3Log2Bits = DefaultFilter3Log2Bits
+	}
+	fs := &SPatchSet{
+		Filter1: bitarr.NewDirectFilter16(),
+		Filter2: bitarr.NewDirectFilter16(),
+		Filter3: bitarr.NewHashFilter(filter3Log2Bits),
+	}
+	for i := range set.Patterns() {
+		p := &set.Patterns()[i]
+		if p.IsShort() {
+			fs.HasShort = true
+			if len(p.Data) == 1 {
+				fs.HasLen1 = true
+			}
+			AddPrefix2(fs.Filter1, p)
+		} else {
+			fs.HasLong = true
+			AddPrefix2(fs.Filter2, p)
+			AddHash4(fs.Filter3, p)
+		}
+	}
+	fs.Merged = bitarr.NewMergedFilter(&fs.Filter1.BitArray, &fs.Filter2.BitArray)
+	return fs
+}
+
+// SizeBytes reports the stage's cache footprint (filters 1+2 counted via
+// the merged layout they are actually accessed through, plus filter 3).
+func (fs *SPatchSet) SizeBytes() int {
+	return fs.Merged.SizeBytes() + fs.Filter3.SizeBytes()
+}
+
+// DFCSet is the filter stage of the original DFC (paper §II-B): an
+// initial direct filter over *all* patterns, the long family's (>= 4 B)
+// direct filter, and the long family's progressive second-window filter.
+// Short patterns (1-3 B) have no filter beyond the initial one — an
+// initial hit goes straight to their direct-address verification tables.
+// (A *dedicated* short-pattern filter is exactly what S-PATCH adds.)
+type DFCSet struct {
+	Initial  *bitarr.DirectFilter16 // all patterns, first 2 bytes
+	Long     *bitarr.DirectFilter16 // long family, first 2 bytes
+	LongNext *bitarr.DirectFilter16 // long family, bytes 2-3
+	HasShort bool
+	HasLong  bool
+	HasLen1  bool
+}
+
+// BuildDFC constructs the DFC filter stage for a set.
+func BuildDFC(set *patterns.Set) *DFCSet {
+	fs := &DFCSet{
+		Initial:  bitarr.NewDirectFilter16(),
+		Long:     bitarr.NewDirectFilter16(),
+		LongNext: bitarr.NewDirectFilter16(),
+	}
+	for i := range set.Patterns() {
+		p := &set.Patterns()[i]
+		AddPrefix2(fs.Initial, p)
+		if p.IsShort() {
+			fs.HasShort = true
+			if len(p.Data) == 1 {
+				fs.HasLen1 = true
+			}
+		} else {
+			fs.HasLong = true
+			AddPrefix2(fs.Long, p)
+			AddNext2(fs.LongNext, p)
+		}
+	}
+	return fs
+}
+
+// SizeBytes reports the DFC stage's cache footprint.
+func (fs *DFCSet) SizeBytes() int {
+	return fs.Initial.SizeBytes() + fs.Long.SizeBytes() + fs.LongNext.SizeBytes()
+}

@@ -1,0 +1,221 @@
+package filters
+
+import (
+	"testing"
+
+	"vpatch/internal/bitarr"
+	"vpatch/internal/patterns"
+)
+
+func pat(s string, nocase bool) *patterns.Pattern {
+	set := patterns.NewSet()
+	id := set.Add([]byte(s), nocase, patterns.ProtoGeneric)
+	return set.Pattern(id)
+}
+
+func TestAddPrefix2CaseSensitive(t *testing.T) {
+	f := bitarr.NewDirectFilter16()
+	AddPrefix2(f, pat("GEt", false))
+	if !f.Test2('G', 'E') {
+		t.Fatal("prefix GE not set")
+	}
+	if f.Test2('g', 'e') || f.Test2('G', 'e') {
+		t.Fatal("case-sensitive pattern set folded variants")
+	}
+}
+
+func TestAddPrefix2Nocase(t *testing.T) {
+	f := bitarr.NewDirectFilter16()
+	AddPrefix2(f, pat("GeT", true))
+	for _, w := range []string{"ge", "Ge", "gE", "GE"} {
+		if !f.Test2(w[0], w[1]) {
+			t.Fatalf("nocase variant %q not set", w)
+		}
+	}
+	if f.Test2('e', 'g') {
+		t.Fatal("unrelated window set")
+	}
+}
+
+func TestAddPrefix2NocaseNonLetters(t *testing.T) {
+	f := bitarr.NewDirectFilter16()
+	AddPrefix2(f, pat("/1ab", true))
+	if !f.Test2('/', '1') {
+		t.Fatal("non-letter prefix not set")
+	}
+	if got := f.PopCount(); got != 1 {
+		t.Fatalf("non-letter nocase prefix set %d bits, want 1", got)
+	}
+}
+
+func TestAddPrefix2OneByte(t *testing.T) {
+	f := bitarr.NewDirectFilter16()
+	AddPrefix2(f, pat("\x90", false))
+	for b1 := 0; b1 < 256; b1 += 17 {
+		if !f.Test2(0x90, byte(b1)) {
+			t.Fatalf("window (0x90,%#x) not set for 1-byte pattern", b1)
+		}
+	}
+	if got := f.PopCount(); got != 256 {
+		t.Fatalf("1-byte pattern set %d bits, want 256", got)
+	}
+}
+
+func TestAddPrefix2OneByteNocaseLetter(t *testing.T) {
+	f := bitarr.NewDirectFilter16()
+	AddPrefix2(f, pat("q", true))
+	if !f.Test2('q', 'x') || !f.Test2('Q', 'x') {
+		t.Fatal("1-byte nocase letter must set both cases")
+	}
+	if got := f.PopCount(); got != 512 {
+		t.Fatalf("set %d bits, want 512", got)
+	}
+}
+
+func TestAddNext2(t *testing.T) {
+	f := bitarr.NewDirectFilter16()
+	AddNext2(f, pat("abXYtail", false))
+	if !f.Test2('X', 'Y') {
+		t.Fatal("second window not set")
+	}
+	if f.Test2('a', 'b') {
+		t.Fatal("first window must not be set by AddNext2")
+	}
+}
+
+func TestAddHash4CaseSensitive(t *testing.T) {
+	f := bitarr.NewHashFilter(16)
+	AddHash4(f, pat("attack", false))
+	if !f.Test4(bitarr.Load4([]byte("atta"))) {
+		t.Fatal("4-byte prefix hash not set")
+	}
+}
+
+func TestAddHash4NocaseAllVariants(t *testing.T) {
+	f := bitarr.NewHashFilter(16)
+	AddHash4(f, pat("GetX", true))
+	for _, v := range []string{"getx", "GETX", "GeTx", "gEtX", "GETx", "getX"} {
+		if !f.Test4(bitarr.Load4([]byte(v))) {
+			t.Fatalf("nocase 4-byte variant %q not set", v)
+		}
+	}
+}
+
+func TestAddHash4NocaseMixedLetters(t *testing.T) {
+	f := bitarr.NewHashFilter(16)
+	AddHash4(f, pat("a1b2rest", true))
+	for _, v := range []string{"a1b2", "A1b2", "a1B2", "A1B2"} {
+		if !f.Test4(bitarr.Load4([]byte(v))) {
+			t.Fatalf("variant %q not set", v)
+		}
+	}
+}
+
+func TestBuildSPatchClassesAndFlags(t *testing.T) {
+	set := patterns.NewSet()
+	set.Add([]byte("ab"), false, patterns.ProtoGeneric) // short
+	set.Add([]byte("longpattern"), false, patterns.ProtoGeneric)
+	fs := BuildSPatch(set, 0)
+	if !fs.HasShort || !fs.HasLong || fs.HasLen1 {
+		t.Fatalf("flags: short=%v long=%v len1=%v", fs.HasShort, fs.HasLong, fs.HasLen1)
+	}
+	// Short pattern only in filter 1, long only in filters 2+3.
+	if !fs.Filter1.Test2('a', 'b') || fs.Filter2.Test2('a', 'b') {
+		t.Fatal("short pattern in wrong filter")
+	}
+	if !fs.Filter2.Test2('l', 'o') || fs.Filter1.Test2('l', 'o') {
+		t.Fatal("long pattern in wrong filter")
+	}
+	if !fs.Filter3.Test4(bitarr.Load4([]byte("long"))) {
+		t.Fatal("long pattern missing from filter 3")
+	}
+}
+
+func TestBuildSPatchLen1Flag(t *testing.T) {
+	set := patterns.NewSet()
+	set.Add([]byte{0xC0}, false, patterns.ProtoGeneric)
+	fs := BuildSPatch(set, 0)
+	if !fs.HasLen1 {
+		t.Fatal("HasLen1 not set")
+	}
+}
+
+func TestBuildSPatchMergedAgrees(t *testing.T) {
+	set := patterns.GenerateS1(1).Subset(500, 1)
+	fs := BuildSPatch(set, 0)
+	for idx := uint32(0); idx < 1<<16; idx += 7 {
+		m1, m2 := fs.Merged.Test(idx)
+		if m1 != fs.Filter1.Test(idx) || m2 != fs.Filter2.Test(idx) {
+			t.Fatalf("merged filter diverges at %#x", idx)
+		}
+	}
+}
+
+func TestBuildSPatchFilter3Sizing(t *testing.T) {
+	set := patterns.FromStrings("abcdef")
+	def := BuildSPatch(set, 0)
+	if def.Filter3.SizeBytes() != 16384 {
+		t.Fatalf("default filter 3 size %d, want 16 KB", def.Filter3.SizeBytes())
+	}
+	big := BuildSPatch(set, 20)
+	if big.Filter3.SizeBytes() != 131072 {
+		t.Fatalf("2^20-bit filter 3 size %d", big.Filter3.SizeBytes())
+	}
+	if def.SizeBytes() != def.Merged.SizeBytes()+def.Filter3.SizeBytes() {
+		t.Fatal("SizeBytes inconsistent")
+	}
+}
+
+func TestBuildDFC(t *testing.T) {
+	set := patterns.NewSet()
+	set.Add([]byte("ab"), false, patterns.ProtoGeneric)
+	set.Add([]byte("wxyzlong"), false, patterns.ProtoGeneric)
+	fs := BuildDFC(set)
+	if !fs.Initial.Test2('a', 'b') || !fs.Initial.Test2('w', 'x') {
+		t.Fatal("initial filter missing a pattern")
+	}
+	if !fs.Long.Test2('w', 'x') || fs.Long.Test2('a', 'b') {
+		t.Fatal("long family filter wrong")
+	}
+	if !fs.LongNext.Test2('y', 'z') {
+		t.Fatal("progressive filter missing second window")
+	}
+	if !fs.HasShort || !fs.HasLong {
+		t.Fatal("family flags wrong")
+	}
+	if fs.SizeBytes() != 3*8192 {
+		t.Fatalf("DFC stage size %d, want 24 KB", fs.SizeBytes())
+	}
+}
+
+// No false negatives: every pattern's first window must pass the filters
+// that route to its verification path, for a large generated set.
+func TestNoFalseNegativesOnGeneratedSet(t *testing.T) {
+	set := patterns.GenerateS1(5)
+	fs := BuildSPatch(set, 0)
+	dfc := BuildDFC(set)
+	for i := range set.Patterns() {
+		p := &set.Patterns()[i]
+		if len(p.Data) >= 2 {
+			b0, b1 := p.Data[0], p.Data[1]
+			if p.IsShort() {
+				if !fs.Filter1.Test2(b0, b1) {
+					t.Fatalf("pattern %q missing from filter 1", p.Data)
+				}
+			} else {
+				if !fs.Filter2.Test2(b0, b1) {
+					t.Fatalf("pattern %q missing from filter 2", p.Data)
+				}
+				if !fs.Filter3.Test4(bitarr.Load4(p.Data)) {
+					t.Fatalf("pattern %q missing from filter 3", p.Data)
+				}
+				if !dfc.LongNext.Test2(p.Data[2], p.Data[3]) {
+					t.Fatalf("pattern %q missing from DFC progressive filter", p.Data)
+				}
+			}
+			if !dfc.Initial.Test2(b0, b1) {
+				t.Fatalf("pattern %q missing from DFC initial filter", p.Data)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package metrics instruments the pattern matchers. Every matcher counts
+// the events that determine its performance on real hardware — filter
+// probes, gathers, hash-table probes, verification byte compares, vector
+// iterations and lane occupancy, and time spent per phase. The counters
+// feed three consumers: the experiment drivers (Fig. 5b's
+// filtering-time/total-time and useful-lane series are direct counter
+// ratios), the cost model (which converts event counts into modeled
+// Haswell/Xeon-Phi cycles), and tests (which assert structural properties
+// such as "V-PATCH performs one merged gather per W windows").
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Counters accumulates matcher events for one scan (or several; counters
+// are additive). The zero value is ready to use. Not safe for concurrent
+// mutation; give each goroutine its own Counters.
+type Counters struct {
+	// BytesScanned is the input volume processed.
+	BytesScanned uint64
+
+	// Scalar filter probes (one memory access each).
+	Filter1Probes uint64
+	Filter2Probes uint64
+	Filter3Probes uint64
+
+	// Vector execution. VectorIters counts main-loop iterations (each
+	// covering W positions); Gathers counts gather instructions issued;
+	// MergedGathers counts how many of them were merged filter-1+2
+	// fetches (the Fig. 3 optimization).
+	VectorIters   uint64
+	Gathers       uint64
+	MergedGathers uint64
+
+	// Speculative filter-3 execution (Fig. 5b's red line): number of
+	// times the filter-3 block ran, and the sum of lanes that actually
+	// needed it (the "useful elements").
+	Filter3Blocks      uint64
+	Filter3UsefulLanes uint64
+
+	// Candidate positions stored into the temporary arrays.
+	ShortCandidates uint64
+	LongCandidates  uint64
+
+	// Verification work: hash-table bucket probes, candidate patterns
+	// compared, and total pattern bytes compared.
+	HTProbes       uint64
+	VerifyAttempts uint64
+	VerifyBytes    uint64
+
+	// DFAAccesses counts state-machine transition fetches (Aho-Corasick
+	// performs one dependent access per input byte; the cost model
+	// charges them at a latency depending on automaton size).
+	DFAAccesses uint64
+
+	// Matches found.
+	Matches uint64
+
+	// Phase wall-clock time.
+	FilteringNs int64
+	VerifyNs    int64
+	OtherNs     int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.BytesScanned += o.BytesScanned
+	c.Filter1Probes += o.Filter1Probes
+	c.Filter2Probes += o.Filter2Probes
+	c.Filter3Probes += o.Filter3Probes
+	c.VectorIters += o.VectorIters
+	c.Gathers += o.Gathers
+	c.MergedGathers += o.MergedGathers
+	c.Filter3Blocks += o.Filter3Blocks
+	c.Filter3UsefulLanes += o.Filter3UsefulLanes
+	c.ShortCandidates += o.ShortCandidates
+	c.LongCandidates += o.LongCandidates
+	c.HTProbes += o.HTProbes
+	c.VerifyAttempts += o.VerifyAttempts
+	c.VerifyBytes += o.VerifyBytes
+	c.DFAAccesses += o.DFAAccesses
+	c.Matches += o.Matches
+	c.FilteringNs += o.FilteringNs
+	c.VerifyNs += o.VerifyNs
+	c.OtherNs += o.OtherNs
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// UsefulLaneFrac returns the average fraction of active lanes when the
+// speculative filter-3 block executes, given the register width W — the
+// paper's "useful elements in vector register" metric (Fig. 5b, right
+// axis). Returns 0 when filter 3 never ran.
+func (c *Counters) UsefulLaneFrac(w int) float64 {
+	if c.Filter3Blocks == 0 || w <= 0 {
+		return 0
+	}
+	return float64(c.Filter3UsefulLanes) / (float64(c.Filter3Blocks) * float64(w))
+}
+
+// FilteringTimeFrac returns filtering time over total measured time
+// (Fig. 5b, left axis). Returns 0 when nothing was timed.
+func (c *Counters) FilteringTimeFrac() float64 {
+	total := c.FilteringNs + c.VerifyNs + c.OtherNs
+	if total == 0 {
+		return 0
+	}
+	return float64(c.FilteringNs) / float64(total)
+}
+
+// CandidateFrac returns the fraction of scanned positions that survived
+// filtering (stored into a temporary array) — the filtering rate
+// complement.
+func (c *Counters) CandidateFrac() float64 {
+	if c.BytesScanned == 0 {
+		return 0
+	}
+	return float64(c.ShortCandidates+c.LongCandidates) / float64(c.BytesScanned)
+}
+
+func (c *Counters) String() string {
+	return fmt.Sprintf(
+		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d cand=%d/%d ht=%d verify=%d(%dB) matches=%d filter=%s verify=%s",
+		c.BytesScanned, c.Filter1Probes, c.Filter2Probes, c.Filter3Probes,
+		c.VectorIters, c.Gathers, c.MergedGathers, c.Filter3Blocks,
+		c.ShortCandidates, c.LongCandidates, c.HTProbes, c.VerifyAttempts,
+		c.VerifyBytes, c.Matches,
+		time.Duration(c.FilteringNs), time.Duration(c.VerifyNs))
+}
+
+// Stopwatch measures one phase. Usage:
+//
+//	sw := metrics.Start()
+//	... phase ...
+//	c.FilteringNs += sw.Stop()
+type Stopwatch struct{ t0 time.Time }
+
+// Start begins timing.
+func Start() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// Stop returns elapsed nanoseconds since Start.
+func (s Stopwatch) Stop() int64 { return time.Since(s.t0).Nanoseconds() }
+
+// Throughput converts (bytes, elapsed ns) into gigabits per second, the
+// unit all the paper's figures use.
+func Throughput(bytes uint64, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / float64(ns)
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	a := Counters{
+		BytesScanned: 1, Filter1Probes: 2, Filter2Probes: 3, Filter3Probes: 4,
+		VectorIters: 5, Gathers: 6, MergedGathers: 7, Filter3Blocks: 8,
+		Filter3UsefulLanes: 9, ShortCandidates: 10, LongCandidates: 11,
+		HTProbes: 12, VerifyAttempts: 13, VerifyBytes: 14, Matches: 15,
+		FilteringNs: 16, VerifyNs: 17, OtherNs: 18, DFAAccesses: 19,
+	}
+	var c Counters
+	c.Add(&a)
+	c.Add(&a)
+	if c != (Counters{
+		BytesScanned: 2, Filter1Probes: 4, Filter2Probes: 6, Filter3Probes: 8,
+		VectorIters: 10, Gathers: 12, MergedGathers: 14, Filter3Blocks: 16,
+		Filter3UsefulLanes: 18, ShortCandidates: 20, LongCandidates: 22,
+		HTProbes: 24, VerifyAttempts: 26, VerifyBytes: 28, Matches: 30,
+		FilteringNs: 32, VerifyNs: 34, OtherNs: 36, DFAAccesses: 38,
+	}) {
+		t.Fatalf("Add result wrong: %+v", c)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := Counters{Matches: 5, FilteringNs: 10}
+	c.Reset()
+	if c != (Counters{}) {
+		t.Fatalf("Reset left %+v", c)
+	}
+}
+
+func TestUsefulLaneFrac(t *testing.T) {
+	c := Counters{Filter3Blocks: 10, Filter3UsefulLanes: 40}
+	if got := c.UsefulLaneFrac(8); got != 0.5 {
+		t.Fatalf("UsefulLaneFrac = %v, want 0.5", got)
+	}
+	var zero Counters
+	if zero.UsefulLaneFrac(8) != 0 {
+		t.Fatal("zero counters must report 0")
+	}
+	if c.UsefulLaneFrac(0) != 0 {
+		t.Fatal("W=0 must report 0")
+	}
+}
+
+func TestFilteringTimeFrac(t *testing.T) {
+	c := Counters{FilteringNs: 30, VerifyNs: 60, OtherNs: 10}
+	if got := c.FilteringTimeFrac(); got != 0.3 {
+		t.Fatalf("FilteringTimeFrac = %v, want 0.3", got)
+	}
+	var zero Counters
+	if zero.FilteringTimeFrac() != 0 {
+		t.Fatal("untimed counters must report 0")
+	}
+}
+
+func TestCandidateFrac(t *testing.T) {
+	c := Counters{BytesScanned: 100, ShortCandidates: 5, LongCandidates: 15}
+	if got := c.CandidateFrac(); got != 0.2 {
+		t.Fatalf("CandidateFrac = %v, want 0.2", got)
+	}
+	var zero Counters
+	if zero.CandidateFrac() != 0 {
+		t.Fatal("zero scan must report 0")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 1 GB in 1 second = 8 Gbps.
+	if got := Throughput(1e9, 1e9); got != 8 {
+		t.Fatalf("Throughput = %v, want 8", got)
+	}
+	if Throughput(100, 0) != 0 || Throughput(100, -5) != 0 {
+		t.Fatal("non-positive time must yield 0")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := Start()
+	ns := sw.Stop()
+	if ns < 0 {
+		t.Fatalf("negative elapsed %d", ns)
+	}
+}
+
+func TestStringMentionsKeyFields(t *testing.T) {
+	c := Counters{Matches: 42, BytesScanned: 1000}
+	s := c.String()
+	if !strings.Contains(s, "matches=42") || !strings.Contains(s, "bytes=1000") {
+		t.Fatalf("String() = %q", s)
+	}
+}

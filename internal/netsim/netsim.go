@@ -1,0 +1,222 @@
+// Package netsim is the network substrate of the reproduction: the
+// paper's system model assumes the matcher runs inside a NIDS over "the
+// reassembled protocol stream of the packets on the monitored network".
+// This package provides that pipeline end to end on synthetic traffic:
+// packetizing byte streams into TCP-like segments across interleaved
+// flows, writing/reading libpcap files, and reassembling per-flow
+// payload streams that feed the matchers (via vpatch.StreamScanner).
+//
+// The segment model is deliberately minimal — five-tuple, sequence
+// number, payload — because the matching algorithms only care about the
+// reassembled payload order; IP/TCP header parsing fidelity is out of
+// scope (DESIGN.md §2).
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FlowKey identifies one unidirectional flow (the reassembly unit).
+type FlowKey struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", ipString(k.SrcIP), k.SrcPort, ipString(k.DstIP), k.DstPort)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip>>24, ip>>16&0xFF, ip>>8&0xFF, ip&0xFF)
+}
+
+// Segment is one TCP-like segment of a flow.
+type Segment struct {
+	Flow FlowKey
+	// Seq is the byte offset of Payload within the flow's stream.
+	Seq uint32
+	// Payload is the application bytes carried by this segment.
+	Payload []byte
+	// TsMicros is the capture timestamp in microseconds.
+	TsMicros uint64
+}
+
+// PacketizeOptions controls stream segmentation.
+type PacketizeOptions struct {
+	// MTU bounds the payload bytes per segment (default 1460, Ethernet
+	// TCP MSS).
+	MTU int
+	// Jitter reorders segments within a window of this many packets
+	// (0 = in-order). Reassembly must restore stream order.
+	Jitter int
+	// DuplicateFrac duplicates this fraction of segments (retransmits).
+	DuplicateFrac float64
+	// Seed drives segmentation sizes, reordering and duplication.
+	Seed int64
+}
+
+// Packetize splits each stream into segments for its flow and interleaves
+// all flows into one capture-ordered sequence, optionally with
+// reordering and duplicates. streams[i] becomes flows[i]'s payload.
+func Packetize(streams map[FlowKey][]byte, opt PacketizeOptions) []Segment {
+	mtu := opt.MTU
+	if mtu <= 0 {
+		mtu = 1460
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Split each stream into its segments.
+	perFlow := make(map[FlowKey][]Segment)
+	keys := make([]FlowKey, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	// Deterministic flow order for the interleaver.
+	sortKeys(keys)
+	for _, k := range keys {
+		data := streams[k]
+		var segs []Segment
+		for pos := 0; pos < len(data); {
+			n := 1 + rng.Intn(mtu)
+			if pos+n > len(data) {
+				n = len(data) - pos
+			}
+			segs = append(segs, Segment{Flow: k, Seq: uint32(pos), Payload: data[pos : pos+n]})
+			pos += n
+		}
+		perFlow[k] = segs
+	}
+
+	// Interleave: repeatedly pick a random flow with segments left.
+	var out []Segment
+	remaining := len(keys)
+	idx := make(map[FlowKey]int, len(keys))
+	ts := uint64(1_000_000)
+	for remaining > 0 {
+		k := keys[rng.Intn(len(keys))]
+		i := idx[k]
+		segs := perFlow[k]
+		if i >= len(segs) {
+			continue
+		}
+		seg := segs[i]
+		seg.TsMicros = ts
+		ts += uint64(1 + rng.Intn(200))
+		out = append(out, seg)
+		idx[k] = i + 1
+		if idx[k] == len(segs) {
+			remaining--
+		}
+		if opt.DuplicateFrac > 0 && rng.Float64() < opt.DuplicateFrac {
+			dup := seg
+			dup.TsMicros = ts
+			ts += 7
+			out = append(out, dup)
+		}
+	}
+
+	// Bounded reordering.
+	if opt.Jitter > 0 {
+		for i := range out {
+			j := i + rng.Intn(opt.Jitter+1)
+			if j < len(out) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func sortKeys(keys []FlowKey) {
+	less := func(a, b FlowKey) bool {
+		if a.SrcIP != b.SrcIP {
+			return a.SrcIP < b.SrcIP
+		}
+		if a.DstIP != b.DstIP {
+			return a.DstIP < b.DstIP
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		return a.DstPort < b.DstPort
+	}
+	// Insertion sort: key counts are small (flows per capture).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && less(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// Reassembler restores per-flow payload streams from segments arriving
+// in capture order, tolerating reordering and duplicates. Contiguous
+// bytes are delivered to the sink exactly once, in stream order — the
+// contract vpatch.StreamScanner needs.
+type Reassembler struct {
+	sink  func(FlowKey, []byte)
+	flows map[FlowKey]*flowState
+}
+
+type flowState struct {
+	next    uint32            // next expected stream offset
+	pending map[uint32][]byte // out-of-order segments by Seq
+}
+
+// NewReassembler creates a reassembler delivering contiguous payload
+// slices per flow to sink.
+func NewReassembler(sink func(FlowKey, []byte)) *Reassembler {
+	return &Reassembler{sink: sink, flows: make(map[FlowKey]*flowState)}
+}
+
+// Add processes one captured segment.
+func (r *Reassembler) Add(seg Segment) {
+	st := r.flows[seg.Flow]
+	if st == nil {
+		st = &flowState{pending: make(map[uint32][]byte)}
+		r.flows[seg.Flow] = st
+	}
+	switch {
+	case seg.Seq == st.next:
+		r.sink(seg.Flow, seg.Payload)
+		st.next += uint32(len(seg.Payload))
+		// Drain any now-contiguous pending segments.
+		for {
+			p, ok := st.pending[st.next]
+			if !ok {
+				break
+			}
+			delete(st.pending, st.next)
+			r.sink(seg.Flow, p)
+			st.next += uint32(len(p))
+		}
+	case seg.Seq > st.next:
+		// Out of order: buffer (last write wins on duplicates).
+		st.pending[seg.Seq] = seg.Payload
+	default:
+		// seg.Seq < next: duplicate or overlap of delivered data.
+		end := seg.Seq + uint32(len(seg.Payload))
+		if end > st.next {
+			// Partial overlap: deliver only the new tail.
+			r.sink(seg.Flow, seg.Payload[st.next-seg.Seq:])
+			st.next = end
+		}
+	}
+}
+
+// PendingBytes returns the number of buffered out-of-order bytes across
+// all flows (diagnostic; nonzero after a capture usually means loss).
+func (r *Reassembler) PendingBytes() int {
+	n := 0
+	for _, st := range r.flows {
+		for _, p := range st.pending {
+			n += len(p)
+		}
+	}
+	return n
+}
+
+// Flows returns the number of flows seen.
+func (r *Reassembler) Flows() int { return len(r.flows) }

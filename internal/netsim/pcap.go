@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Minimal libpcap (tcpdump) file support, stdlib only. Segments are
+// framed as Ethernet + IPv4 + TCP so the generated captures open in
+// standard tools; ReadPcap inverts exactly the frames WritePcap emits
+// (it is a capture-replay loop for this repository, not a general pcap
+// parser).
+
+const (
+	pcapMagic     = 0xA1B2C3D4
+	pcapVerMajor  = 2
+	pcapVerMinor  = 4
+	linkEthernet  = 1
+	etherIPv4     = 0x0800
+	ipProtoTCP    = 6
+	etherHdrLen   = 14
+	ipv4HdrLen    = 20
+	tcpHdrLen     = 20
+	maxSnapLen    = 262144
+	frameOverhead = etherHdrLen + ipv4HdrLen + tcpHdrLen
+)
+
+// WritePcap writes segments as a libpcap capture.
+func WritePcap(w io.Writer, segs []Segment) error {
+	var hdr [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], pcapMagic)
+	le.PutUint16(hdr[4:], pcapVerMajor)
+	le.PutUint16(hdr[6:], pcapVerMinor)
+	// thiszone=0, sigfigs=0
+	le.PutUint32(hdr[16:], maxSnapLen)
+	le.PutUint32(hdr[20:], linkEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("netsim: pcap header: %w", err)
+	}
+	frame := make([]byte, 0, frameOverhead+2048)
+	for i := range segs {
+		frame = appendFrame(frame[:0], &segs[i])
+		var ph [16]byte
+		le.PutUint32(ph[0:], uint32(segs[i].TsMicros/1_000_000))
+		le.PutUint32(ph[4:], uint32(segs[i].TsMicros%1_000_000))
+		le.PutUint32(ph[8:], uint32(len(frame)))
+		le.PutUint32(ph[12:], uint32(len(frame)))
+		if _, err := w.Write(ph[:]); err != nil {
+			return fmt.Errorf("netsim: packet header: %w", err)
+		}
+		if _, err := w.Write(frame); err != nil {
+			return fmt.Errorf("netsim: packet body: %w", err)
+		}
+	}
+	return nil
+}
+
+// appendFrame renders Ethernet+IPv4+TCP headers plus payload.
+func appendFrame(dst []byte, seg *Segment) []byte {
+	be := binary.BigEndian
+	// Ethernet: synthetic MACs derived from the IPs.
+	var eth [etherHdrLen]byte
+	be.PutUint32(eth[2:], seg.Flow.DstIP)
+	be.PutUint32(eth[8:], seg.Flow.SrcIP)
+	be.PutUint16(eth[12:], etherIPv4)
+	dst = append(dst, eth[:]...)
+
+	var ip [ipv4HdrLen]byte
+	ip[0] = 0x45 // v4, 20-byte header
+	be.PutUint16(ip[2:], uint16(ipv4HdrLen+tcpHdrLen+len(seg.Payload)))
+	ip[8] = 64 // TTL
+	ip[9] = ipProtoTCP
+	be.PutUint32(ip[12:], seg.Flow.SrcIP)
+	be.PutUint32(ip[16:], seg.Flow.DstIP)
+	be.PutUint16(ip[10:], ipv4Checksum(ip[:]))
+	dst = append(dst, ip[:]...)
+
+	var tcp [tcpHdrLen]byte
+	be.PutUint16(tcp[0:], seg.Flow.SrcPort)
+	be.PutUint16(tcp[2:], seg.Flow.DstPort)
+	be.PutUint32(tcp[4:], seg.Seq)
+	tcp[12] = 5 << 4 // data offset 5 words
+	tcp[13] = 0x18   // PSH|ACK
+	be.PutUint16(tcp[14:], 0xFFFF)
+	dst = append(dst, tcp[:]...)
+	return append(dst, seg.Payload...)
+}
+
+func ipv4Checksum(hdr []byte) uint16 {
+	sum := uint32(0)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ReadPcap parses a capture previously written by WritePcap and returns
+// its segments in file order.
+func ReadPcap(r io.Reader) ([]Segment, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("netsim: pcap header: %w", err)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != pcapMagic {
+		return nil, fmt.Errorf("netsim: bad pcap magic %#x (big-endian captures unsupported)", le.Uint32(hdr[0:]))
+	}
+	if link := le.Uint32(hdr[20:]); link != linkEthernet {
+		return nil, fmt.Errorf("netsim: unsupported link type %d", link)
+	}
+	var segs []Segment
+	be := binary.BigEndian
+	for {
+		var ph [16]byte
+		if _, err := io.ReadFull(r, ph[:]); err != nil {
+			if err == io.EOF {
+				return segs, nil
+			}
+			return nil, fmt.Errorf("netsim: packet header: %w", err)
+		}
+		capLen := le.Uint32(ph[8:])
+		if capLen > maxSnapLen {
+			return nil, fmt.Errorf("netsim: packet length %d exceeds snaplen", capLen)
+		}
+		frame := make([]byte, capLen)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return nil, fmt.Errorf("netsim: packet body: %w", err)
+		}
+		if capLen < frameOverhead {
+			return nil, fmt.Errorf("netsim: truncated frame (%d bytes)", capLen)
+		}
+		ip := frame[etherHdrLen:]
+		tcp := ip[ipv4HdrLen:]
+		segs = append(segs, Segment{
+			Flow: FlowKey{
+				SrcIP:   be.Uint32(ip[12:]),
+				DstIP:   be.Uint32(ip[16:]),
+				SrcPort: be.Uint16(tcp[0:]),
+				DstPort: be.Uint16(tcp[2:]),
+			},
+			Seq:      be.Uint32(tcp[4:]),
+			Payload:  frame[frameOverhead:],
+			TsMicros: uint64(le.Uint32(ph[0:]))*1_000_000 + uint64(le.Uint32(ph[4:])),
+		})
+	}
+}

@@ -1,0 +1,254 @@
+package patterns
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file synthesizes rule sets with the published statistics of the
+// paper's two sets, since the originals (Snort v2.9.7 registered rules,
+// ET-open 2.9.0) are not redistributable:
+//
+//   - S1 ~ 2,500 patterns, of which the web-applicable subset is ~2,000.
+//   - S2 ~ 20,000 patterns, of which the web-applicable subset is ~9,000.
+//   - 21% of patterns are 1-4 bytes long (the paper quotes this figure
+//     for Snort v2.9.7 from [12]).
+//   - Pattern lengths range from 1 byte to several hundred bytes.
+//   - Short patterns include strings that occur constantly in real HTTP
+//     traffic (GET, HTTP, Host, ...), the property S-PATCH's dedicated
+//     short-pattern filter exploits.
+//
+// Generation is fully deterministic given the seed.
+
+// Target sizes for the synthetic sets.
+const (
+	S1Size = 2500
+	S2Size = 20000
+)
+
+// Fractions of each set that the web subset (HTTP + generic) must hit:
+// 2000/2500 for S1 and 9000/20000 for S2.
+const (
+	s1WebFrac = 0.80
+	s2WebFrac = 0.45
+)
+
+// GenerateS1 synthesizes the small rule set (Snort-v2.9.7-like).
+func GenerateS1(seed int64) *Set { return generate(S1Size, s1WebFrac, seed) }
+
+// GenerateS2 synthesizes the large rule set (ET-open-2.9.0-like).
+func GenerateS2(seed int64) *Set { return generate(S2Size, s2WebFrac, seed+0x5EED) }
+
+// shortTokens are 1-4 byte strings that realistic HTTP traffic contains in
+// abundance. Their presence in the short-pattern filter is what makes
+// realistic traffic "hit" constantly (the motivation for S-PATCH's filter 1).
+var shortTokens = []string{
+	"GET", "POST", "PUT", "HEAD", "HTTP", "Host", "..", "../", "/..",
+	"cmd", ".js", ".php", ".asp", ".exe", ".cgi", "id=", "%00", "%2e",
+	"|3a|//", "bin", "sh -", "pwd", "~/", "etc", "wp-", "ftp", "&&",
+	"'or", "=1", "qq", "%3c", "...", "adm",
+}
+
+// uriWords seed the synthetic long URI/payload patterns.
+var uriWords = []string{
+	"admin", "login", "passwd", "shadow", "config", "setup", "shell",
+	"upload", "download", "include", "script", "update", "install",
+	"backup", "secret", "token", "session", "cookie", "search", "query",
+	"index", "default", "manager", "console", "status", "debug", "trace",
+	"export", "import", "report", "viewer", "editor", "portal", "gateway",
+	"proxy", "filter", "module", "plugin", "widget", "theme", "struts",
+	"phpmyadmin", "wordpress", "joomla", "drupal", "tomcat", "jenkins",
+	"cgi-bin", "htaccess", "htpasswd", "wsdl", "soap", "xmlrpc",
+}
+
+var headerWords = []string{
+	"User-Agent:", "Referer:", "X-Forwarded-For:", "Authorization:",
+	"Content-Type:", "Accept-Encoding:", "Cookie:", "Range:",
+	"Transfer-Encoding:", "Content-Length:", "If-Modified-Since:",
+}
+
+var agentWords = []string{
+	"Mozilla", "scanner", "sqlmap", "nikto", "nessus", "masscan", "zgrab",
+	"curl", "python-requests", "Wget", "libwww", "botnet", "loader",
+}
+
+// generate builds a set of n patterns with webFrac of them HTTP/generic.
+func generate(n int, webFrac float64, seed int64) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	set := NewSet()
+	for set.Len() < n {
+		proto := pickProto(rng, webFrac)
+		length := sampleLength(rng)
+		data := synthesize(rng, length, proto)
+		if len(data) == 0 {
+			continue
+		}
+		// ~15% of text patterns are nocase, as is common in web rules.
+		nocase := isMostlyText(data) && rng.Float64() < 0.15
+		set.Add(data, nocase, proto)
+	}
+	return set
+}
+
+// pickProto distributes patterns over protocol groups so that
+// HTTP+generic hits webFrac of the set.
+func pickProto(rng *rand.Rand, webFrac float64) Protocol {
+	if rng.Float64() < webFrac {
+		// Inside the web subset: mostly HTTP-specific, some generic.
+		if rng.Float64() < 0.8 {
+			return ProtoHTTP
+		}
+		return ProtoGeneric
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return ProtoDNS
+	case 1:
+		return ProtoFTP
+	default:
+		return ProtoSMTP
+	}
+}
+
+// sampleLength draws a pattern length matching the published distribution:
+// 21% in 1-4 bytes (with 1-byte patterns rare), a body around 5-40 bytes,
+// and a tail reaching several hundred bytes.
+func sampleLength(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.005:
+		return 1
+	case r < 0.05:
+		return 2
+	case r < 0.13:
+		return 3
+	case r < 0.21:
+		return 4
+	case r < 0.90:
+		// Body: 5..40, geometric-ish.
+		return 5 + int(rng.ExpFloat64()*8)%36
+	case r < 0.99:
+		// Long: 41..160.
+		return 41 + rng.Intn(120)
+	default:
+		// Very long: up to ~400 bytes.
+		return 161 + rng.Intn(240)
+	}
+}
+
+// synthesize builds pattern bytes of the requested length and flavour.
+func synthesize(rng *rand.Rand, length int, proto Protocol) []byte {
+	switch {
+	case length <= 4:
+		return synthesizeShort(rng, length)
+	case rng.Float64() < 0.15:
+		return randomBinary(rng, length)
+	default:
+		return synthesizeText(rng, length, proto)
+	}
+}
+
+// synthesizeShort returns a 1-4 byte pattern. Half the time it is a real
+// HTTP-ish token (so realistic traffic hits it), otherwise random bytes.
+// 1-byte patterns are always non-text bytes: a 1-byte text pattern would
+// match on almost every input byte, which even Snort's rule sets avoid.
+func synthesizeShort(rng *rand.Rand, length int) []byte {
+	if length == 1 {
+		return []byte{byte(0x80 + rng.Intn(0x80))}
+	}
+	if rng.Float64() < 0.5 {
+		tok := shortTokens[rng.Intn(len(shortTokens))]
+		if len(tok) >= length {
+			return []byte(tok[:length])
+		}
+	}
+	out := make([]byte, length)
+	for i := range out {
+		if rng.Float64() < 0.8 {
+			out[i] = printable(rng)
+		} else {
+			out[i] = byte(rng.Intn(256))
+		}
+	}
+	return out
+}
+
+// synthesizeText builds a textual attack-signature-like pattern:
+// URI fragments, header lines, or agent strings, padded with word salad
+// until the target length is reached.
+func synthesizeText(rng *rand.Rand, length int, proto Protocol) []byte {
+	var out []byte
+	switch rng.Intn(3) {
+	case 0: // URI fragment
+		out = append(out, '/')
+		for len(out) < length {
+			out = append(out, uriWords[rng.Intn(len(uriWords))]...)
+			switch rng.Intn(4) {
+			case 0:
+				out = append(out, '/')
+			case 1:
+				out = append(out, '.')
+			case 2:
+				out = append(out, '?')
+			default:
+				out = append(out, '=')
+			}
+		}
+	case 1: // header line
+		out = append(out, headerWords[rng.Intn(len(headerWords))]...)
+		out = append(out, ' ')
+		for len(out) < length {
+			out = append(out, agentWords[rng.Intn(len(agentWords))]...)
+			out = append(out, '/')
+			out = append(out, byte('0'+rng.Intn(10)), '.')
+		}
+	default: // word salad (exploit-ish payload text)
+		words := uriWords
+		if proto == ProtoSMTP || proto == ProtoFTP {
+			words = agentWords
+		}
+		for len(out) < length {
+			out = append(out, words[rng.Intn(len(words))]...)
+			out = append(out, byte("_-+%&="[rng.Intn(6)]))
+		}
+	}
+	if len(out) > length {
+		out = out[:length]
+	}
+	return out
+}
+
+// randomBinary returns length random bytes biased away from printable
+// ASCII (shellcode-like payload signatures).
+func randomBinary(rng *rand.Rand, length int) []byte {
+	out := make([]byte, length)
+	for i := range out {
+		out[i] = byte(rng.Intn(256))
+		if out[i] >= 0x20 && out[i] < 0x7F && rng.Float64() < 0.5 {
+			out[i] |= 0x80
+		}
+	}
+	return out
+}
+
+func printable(rng *rand.Rand) byte {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-._/%=?&"
+	return alphabet[rng.Intn(len(alphabet))]
+}
+
+func isMostlyText(b []byte) bool {
+	text := 0
+	for _, c := range b {
+		if c >= 0x20 && c < 0x7F {
+			text++
+		}
+	}
+	return text*4 >= len(b)*3
+}
+
+// DescribeSet formats a one-line summary, used by the CLI tools.
+func DescribeSet(name string, s *Set) string {
+	st := s.ComputeStats()
+	return fmt.Sprintf("%s: %d patterns (len %d-%d, mean %.1f, short(1-4B) %.0f%%, web subset %d)",
+		name, st.Count, st.MinLen, st.MaxLen, st.MeanLen, st.ShortFrac*100, s.WebSubset().Len())
+}

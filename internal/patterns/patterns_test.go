@@ -1,0 +1,340 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	s := NewSet()
+	id := s.Add([]byte("GET"), false, ProtoHTTP)
+	if id != 0 {
+		t.Fatalf("first id = %d", id)
+	}
+	p := s.Pattern(id)
+	if string(p.Data) != "GET" || p.Nocase || p.Proto != ProtoHTTP {
+		t.Fatalf("stored pattern %+v", p)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestAddRejectsEmpty(t *testing.T) {
+	s := NewSet()
+	if id := s.Add(nil, false, ProtoGeneric); id >= 0 {
+		t.Fatalf("empty pattern accepted with id %d", id)
+	}
+	if s.Len() != 0 {
+		t.Fatal("empty pattern stored")
+	}
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	s := NewSet()
+	a := s.Add([]byte("abc"), false, ProtoGeneric)
+	b := s.Add([]byte("abc"), false, ProtoHTTP)
+	if a != b {
+		t.Fatalf("duplicate got new id: %d vs %d", a, b)
+	}
+	// Same bytes with different case-sensitivity is a distinct pattern.
+	c := s.Add([]byte("abc"), true, ProtoGeneric)
+	if c == a {
+		t.Fatal("nocase variant collided with case-sensitive pattern")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestAddCopiesData(t *testing.T) {
+	s := NewSet()
+	buf := []byte("xyz")
+	id := s.Add(buf, false, ProtoGeneric)
+	buf[0] = '!'
+	if string(s.Pattern(id).Data) != "xyz" {
+		t.Fatal("Add aliased caller's buffer")
+	}
+}
+
+func TestNocaseStoredFolded(t *testing.T) {
+	s := NewSet()
+	id := s.Add([]byte("GeT"), true, ProtoHTTP)
+	if string(s.Pattern(id).Data) != "get" {
+		t.Fatalf("nocase pattern stored as %q", s.Pattern(id).Data)
+	}
+}
+
+func TestMatchesAt(t *testing.T) {
+	p := Pattern{Data: []byte("abc")}
+	input := []byte("xxabcxx")
+	if !p.MatchesAt(input, 2) {
+		t.Fatal("missed match at 2")
+	}
+	if p.MatchesAt(input, 1) || p.MatchesAt(input, 3) {
+		t.Fatal("false match")
+	}
+	if p.MatchesAt(input, 5) {
+		t.Fatal("match past end")
+	}
+	if p.MatchesAt(input, -1) {
+		t.Fatal("match at negative offset")
+	}
+}
+
+func TestMatchesAtNocase(t *testing.T) {
+	p := Pattern{Data: []byte("get /"), Nocase: true}
+	for _, in := range []string{"GET /", "get /", "GeT /", "gEt /"} {
+		if !p.MatchesAt([]byte(in), 0) {
+			t.Errorf("nocase missed %q", in)
+		}
+	}
+	if p.MatchesAt([]byte("GET?/"), 0) {
+		t.Fatal("nocase matched wrong byte")
+	}
+}
+
+func TestFoldByte(t *testing.T) {
+	if FoldByte('A') != 'a' || FoldByte('Z') != 'z' {
+		t.Fatal("uppercase not folded")
+	}
+	for _, b := range []byte{'a', 'z', '0', '@', '[', 0x00, 0xFF} {
+		if FoldByte(b) != b {
+			t.Errorf("FoldByte(%#x) changed a non-uppercase byte", b)
+		}
+	}
+}
+
+func TestFold(t *testing.T) {
+	src := []byte("AbC1|")
+	dst := Fold(src)
+	if string(dst) != "abc1|" {
+		t.Fatalf("Fold = %q", dst)
+	}
+	if string(src) != "AbC1|" {
+		t.Fatal("Fold mutated its input")
+	}
+}
+
+func TestFindAllNaive(t *testing.T) {
+	s := FromStrings("ab", "b", "abc")
+	got := FindAllNaive(s, []byte("abcab"))
+	want := []Match{
+		{PatternID: 0, Pos: 0}, // ab
+		{PatternID: 2, Pos: 0}, // abc
+		{PatternID: 1, Pos: 1}, // b
+		{PatternID: 0, Pos: 3}, // ab
+		{PatternID: 1, Pos: 4}, // b
+	}
+	if !EqualMatches(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if CountAllNaive(s, []byte("abcab")) != 5 {
+		t.Fatal("CountAllNaive disagrees with FindAllNaive")
+	}
+}
+
+func TestFindAllNaiveOverlapping(t *testing.T) {
+	s := FromStrings("aa")
+	got := FindAllNaive(s, []byte("aaaa"))
+	if len(got) != 3 {
+		t.Fatalf("overlapping occurrences: got %d want 3", len(got))
+	}
+}
+
+func TestEqualMatches(t *testing.T) {
+	a := []Match{{1, 5}, {0, 2}}
+	b := []Match{{0, 2}, {1, 5}}
+	if !EqualMatches(a, b) {
+		t.Fatal("order must not matter")
+	}
+	c := []Match{{0, 2}, {1, 6}}
+	if EqualMatches(a, c) {
+		t.Fatal("different matches reported equal")
+	}
+	if EqualMatches(a, a[:1]) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestFilterAndWebSubset(t *testing.T) {
+	s := NewSet()
+	s.Add([]byte("http-pat"), false, ProtoHTTP)
+	s.Add([]byte("dns-pat"), false, ProtoDNS)
+	s.Add([]byte("gen-pat"), false, ProtoGeneric)
+	web := s.WebSubset()
+	if web.Len() != 2 {
+		t.Fatalf("web subset len %d, want 2", web.Len())
+	}
+	// IDs must be re-densified.
+	for i := 0; i < web.Len(); i++ {
+		if web.Pattern(int32(i)).ID != int32(i) {
+			t.Fatal("subset IDs not dense")
+		}
+	}
+}
+
+func TestSubsetDeterministicAndSized(t *testing.T) {
+	s := GenerateS1(1)
+	a := s.Subset(100, 7)
+	b := s.Subset(100, 7)
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("subset sizes %d/%d", a.Len(), b.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if string(a.Pattern(int32(i)).Data) != string(b.Pattern(int32(i)).Data) {
+			t.Fatal("same seed produced different subsets")
+		}
+	}
+	c := s.Subset(100, 8)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if string(a.Pattern(int32(i)).Data) != string(c.Pattern(int32(i)).Data) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical subsets")
+	}
+	if s.Subset(1<<30, 1).Len() != s.Len() {
+		t.Fatal("oversized subset must return the whole set")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := FromStrings("a", "bb", "cccc", "dddddddd")
+	st := s.ComputeStats()
+	if st.Count != 4 || st.MinLen != 1 || st.MaxLen != 8 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ShortFrac != 0.75 {
+		t.Fatalf("ShortFrac = %v, want 0.75", st.ShortFrac)
+	}
+	if st.MeanLen != 15.0/4 {
+		t.Fatalf("MeanLen = %v", st.MeanLen)
+	}
+}
+
+func TestGenerateS1Statistics(t *testing.T) {
+	s := GenerateS1(42)
+	st := s.ComputeStats()
+	if st.Count != S1Size {
+		t.Fatalf("S1 size %d, want %d", st.Count, S1Size)
+	}
+	if st.ShortFrac < 0.17 || st.ShortFrac > 0.25 {
+		t.Fatalf("S1 short fraction %.3f outside [0.17,0.25] (paper: 21%%)", st.ShortFrac)
+	}
+	if st.MinLen != 1 {
+		t.Fatalf("S1 min length %d, want 1", st.MinLen)
+	}
+	if st.MaxLen < 150 {
+		t.Fatalf("S1 max length %d, want a several-hundred-byte tail", st.MaxLen)
+	}
+	web := s.WebSubset().Len()
+	if web < 1800 || web > 2200 {
+		t.Fatalf("S1 web subset %d, want ~2000", web)
+	}
+}
+
+func TestGenerateS2Statistics(t *testing.T) {
+	s := GenerateS2(42)
+	st := s.ComputeStats()
+	if st.Count != S2Size {
+		t.Fatalf("S2 size %d, want %d", st.Count, S2Size)
+	}
+	if st.ShortFrac < 0.17 || st.ShortFrac > 0.25 {
+		t.Fatalf("S2 short fraction %.3f outside [0.17,0.25]", st.ShortFrac)
+	}
+	web := s.WebSubset().Len()
+	if web < 8200 || web > 9800 {
+		t.Fatalf("S2 web subset %d, want ~9000", web)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateS1(7)
+	b := GenerateS1(7)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if string(a.Pattern(int32(i)).Data) != string(b.Pattern(int32(i)).Data) {
+			t.Fatal("same seed, different patterns")
+		}
+	}
+}
+
+func TestGenerateContainsHTTPShortTokens(t *testing.T) {
+	s := GenerateS1(1)
+	found := 0
+	for _, tok := range []string{"GET", "POST", "HTTP"} {
+		for i := 0; i < s.Len(); i++ {
+			if strings.EqualFold(string(s.Pattern(int32(i)).Data), tok) {
+				found++
+				break
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no common HTTP short tokens in generated set; realistic-traffic effect would vanish")
+	}
+}
+
+func TestGenerateOneBytePatternsAreBinary(t *testing.T) {
+	s := GenerateS2(3)
+	for i := 0; i < s.Len(); i++ {
+		p := s.Pattern(int32(i))
+		if len(p.Data) == 1 && p.Data[0] < 0x80 {
+			t.Fatalf("1-byte pattern %#x is printable; must be high-bit byte", p.Data[0])
+		}
+	}
+}
+
+// Property: MatchesAt agrees with a string-compare oracle.
+func TestMatchesAtProperty(t *testing.T) {
+	f := func(pat, in []byte, posRaw uint16) bool {
+		if len(pat) == 0 {
+			return true
+		}
+		if len(pat) > 8 {
+			pat = pat[:8]
+		}
+		p := Pattern{Data: pat}
+		pos := int(posRaw) % (len(in) + 1)
+		want := pos+len(pat) <= len(in) && string(in[pos:pos+len(pat)]) == string(pat)
+		return p.MatchesAt(in, pos) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortMatches(t *testing.T) {
+	ms := []Match{{3, 9}, {1, 2}, {0, 2}, {2, 0}}
+	SortMatches(ms)
+	want := []Match{{2, 0}, {0, 2}, {1, 2}, {3, 9}}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Fatalf("got %v want %v", ms, want)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtoHTTP.String() != "http" || ProtoGeneric.String() != "generic" {
+		t.Fatal("protocol names wrong")
+	}
+	if Protocol(99).String() == "" {
+		t.Fatal("unknown protocol must still format")
+	}
+}
+
+func TestDescribeSet(t *testing.T) {
+	s := FromStrings("ab", "cdef")
+	d := DescribeSet("tiny", s)
+	if !strings.Contains(d, "tiny") || !strings.Contains(d, "2 patterns") {
+		t.Fatalf("DescribeSet = %q", d)
+	}
+}

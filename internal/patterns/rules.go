@@ -1,0 +1,284 @@
+package patterns
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions controls rule parsing.
+type ParseOptions struct {
+	// LongestContentOnly keeps only the longest content string of each
+	// rule (Snort's multi-pattern matcher registers one content per rule);
+	// when false every content string becomes its own pattern.
+	LongestContentOnly bool
+}
+
+// ParseRules reads a simplified Snort-rule stream and extracts the content
+// patterns. Supported syntax per non-comment line:
+//
+//	alert tcp any any -> any 80 (msg:"..."; content:"GET /admin"; nocase; content:"|0D 0A|"; sid:1;)
+//
+// Recognized pieces: the protocol hint from the header ports (80/8080 →
+// HTTP, 53 → DNS, 21 → FTP, 25 → SMTP, otherwise generic), any number of
+// content:"..." options with Snort escapes (\" \\ \| and |HH HH| hex
+// blocks), and a nocase modifier applying to the preceding content.
+// Lines starting with '#' and blank lines are skipped.
+func ParseRules(r io.Reader, opt ParseOptions) (*Set, error) {
+	set := NewSet()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		proto := protoFromHeader(line)
+		contents, err := parseContents(line)
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %w", lineNo, err)
+		}
+		if len(contents) == 0 {
+			continue
+		}
+		if opt.LongestContentOnly {
+			best := contents[0]
+			for _, c := range contents[1:] {
+				if len(c.data) > len(best.data) {
+					best = c
+				}
+			}
+			contents = contents[:1]
+			contents[0] = best
+		}
+		for _, c := range contents {
+			set.Add(c.data, c.nocase, proto)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rules: %w", err)
+	}
+	return set, nil
+}
+
+type ruleContent struct {
+	data   []byte
+	nocase bool
+}
+
+// protoFromHeader guesses the traffic class from the port fields of the
+// rule header. It only needs to be good enough to bucket rules the way the
+// paper's "web traffic patterns" subsets do.
+func protoFromHeader(line string) Protocol {
+	paren := strings.IndexByte(line, '(')
+	header := line
+	if paren >= 0 {
+		header = line[:paren]
+	}
+	fields := strings.Fields(header)
+	hasPort := func(p string) bool {
+		for _, f := range fields {
+			if f == p {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case hasPort("80"), hasPort("8080"), hasPort("$HTTP_PORTS"), strings.Contains(header, "http"):
+		return ProtoHTTP
+	case hasPort("53"):
+		return ProtoDNS
+	case hasPort("21"):
+		return ProtoFTP
+	case hasPort("25"):
+		return ProtoSMTP
+	}
+	return ProtoGeneric
+}
+
+// parseContents extracts all content:"..." options (with their nocase
+// modifiers) from one rule line.
+func parseContents(line string) ([]ruleContent, error) {
+	var out []ruleContent
+	rest := line
+	for {
+		i := strings.Index(rest, "content:")
+		if i < 0 {
+			break
+		}
+		rest = rest[i+len("content:"):]
+		rest = strings.TrimLeft(rest, " \t")
+		// Optional negation "!" — negated contents are not prefilter
+		// patterns; skip the whole option.
+		negated := false
+		if strings.HasPrefix(rest, "!") {
+			negated = true
+			rest = strings.TrimLeft(rest[1:], " \t")
+		}
+		if !strings.HasPrefix(rest, "\"") {
+			return nil, fmt.Errorf("content option without quoted string")
+		}
+		data, consumed, err := decodeContent(rest[1:])
+		if err != nil {
+			return nil, err
+		}
+		rest = rest[1+consumed:]
+		nocase := nocaseFollows(rest)
+		if !negated && len(data) > 0 {
+			out = append(out, ruleContent{data: data, nocase: nocase})
+		}
+	}
+	return out, nil
+}
+
+// nocaseFollows reports whether a nocase modifier appears among the
+// option tokens before the next content option (or end of rule).
+func nocaseFollows(rest string) bool {
+	end := strings.Index(rest, "content:")
+	if end < 0 {
+		end = len(rest)
+	}
+	seg := rest[:end]
+	for _, tok := range strings.Split(seg, ";") {
+		if strings.TrimSpace(tok) == "nocase" {
+			return true
+		}
+	}
+	return false
+}
+
+// decodeContent decodes a Snort content body starting just after the
+// opening quote. It returns the decoded bytes and the number of input
+// bytes consumed including the closing quote.
+func decodeContent(s string) (data []byte, consumed int, err error) {
+	var out []byte
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return out, i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return nil, 0, fmt.Errorf("dangling escape in content")
+			}
+			nxt := s[i+1]
+			switch nxt {
+			case '"', '\\', '|', ';', ':':
+				out = append(out, nxt)
+			default:
+				return nil, 0, fmt.Errorf("unknown escape \\%c in content", nxt)
+			}
+			i += 2
+		case '|':
+			j := strings.IndexByte(s[i+1:], '|')
+			if j < 0 {
+				return nil, 0, fmt.Errorf("unterminated hex block in content")
+			}
+			hex := s[i+1 : i+1+j]
+			bytesOut, err := decodeHexBlock(hex)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, bytesOut...)
+			i += j + 2
+		default:
+			out = append(out, c)
+			i++
+		}
+	}
+	return nil, 0, fmt.Errorf("unterminated content string")
+}
+
+// decodeHexBlock decodes the inside of a |..| hex block: whitespace
+// separated pairs of hex digits.
+func decodeHexBlock(s string) ([]byte, error) {
+	var out []byte
+	cur := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			if cur >= 0 {
+				return nil, fmt.Errorf("odd hex digit count in |%s|", s)
+			}
+			continue
+		}
+		v, ok := hexVal(c)
+		if !ok {
+			return nil, fmt.Errorf("invalid hex digit %q in |%s|", c, s)
+		}
+		if cur < 0 {
+			cur = int(v)
+		} else {
+			out = append(out, byte(cur<<4|int(v)))
+			cur = -1
+		}
+	}
+	if cur >= 0 {
+		return nil, fmt.Errorf("odd hex digit count in |%s|", s)
+	}
+	return out, nil
+}
+
+// EncodeRule renders a pattern as one parseable Snort-style rule line
+// (the inverse of ParseRules, up to option ordering). Non-printable
+// bytes, quotes, pipes and backslashes are emitted as |HH| hex blocks.
+func EncodeRule(p *Pattern, sid int) string {
+	var b strings.Builder
+	port := "any"
+	switch p.Proto {
+	case ProtoHTTP:
+		port = "80"
+	case ProtoDNS:
+		port = "53"
+	case ProtoFTP:
+		port = "21"
+	case ProtoSMTP:
+		port = "25"
+	}
+	fmt.Fprintf(&b, "alert tcp any any -> any %s (msg:\"pattern %d\"; content:\"", port, sid)
+	inHex := false
+	for _, c := range p.Data {
+		printable := c >= 0x20 && c < 0x7F && c != '"' && c != '|' && c != '\\' && c != ';' && c != ':'
+		if printable {
+			if inHex {
+				b.WriteByte('|')
+				inHex = false
+			}
+			b.WriteByte(c)
+		} else {
+			if !inHex {
+				b.WriteByte('|')
+				inHex = true
+			} else {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%02X", c)
+		}
+	}
+	if inHex {
+		b.WriteByte('|')
+	}
+	b.WriteString("\"; ")
+	if p.Nocase {
+		b.WriteString("nocase; ")
+	}
+	fmt.Fprintf(&b, "sid:%d;)", sid)
+	return b.String()
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

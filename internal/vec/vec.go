@@ -1,0 +1,303 @@
+// Package vec is a software rendition of the SIMD execution model the paper
+// relies on: W-lane vector registers of 32-bit elements, the gather
+// instruction (fetch from W non-contiguous memory locations), the shuffle
+// instruction (arbitrary byte permutation inside a register), and movemask
+// (condense per-lane predicates into a scalar bit mask).
+//
+// Pure Go exposes no SIMD intrinsics, so every operation is implemented as
+// a short, branch-free loop over the active lanes. The point of the layer is
+// architectural fidelity, not hardware parallelism: V-PATCH written against
+// this package has exactly the paper's instruction structure (one merged
+// gather per W windows, speculative masked filter-3, movemask-driven
+// candidate extraction, 2x unrolling), its lane-occupancy statistics are
+// measurable exactly as defined in Fig. 5b, and its output is verifiable
+// lane-for-lane against the scalar algorithm. internal/costmodel converts
+// the instruction counts into modeled Haswell / Xeon-Phi throughput.
+package vec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxLanes is the widest supported register: 16 x 32-bit lanes = 512 bits,
+// the Xeon-Phi configuration.
+const MaxLanes = 16
+
+// Supported register widths in 32-bit lanes:
+//
+//	4  = SSE/128-bit
+//	8  = AVX2/256-bit (Haswell, the paper's commodity platform)
+//	16 = AVX-512/Xeon-Phi 512-bit
+var SupportedWidths = []int{4, 8, 16}
+
+// U32 is a vector register of up to MaxLanes 32-bit elements. Engines
+// configured with W < MaxLanes only use the first W lanes.
+type U32 [MaxLanes]uint32
+
+// Bytes is a raw byte register (64 bytes = one 512-bit register).
+type Bytes [MaxLanes * 4]byte
+
+// Mask is a per-lane predicate: bit i set means lane i is active.
+type Mask uint32
+
+// Any reports whether at least one lane is active.
+func (m Mask) Any() bool { return m != 0 }
+
+// Count returns the number of active lanes — the paper's "useful elements
+// in vector register" metric (Fig. 5b).
+func (m Mask) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// Test reports whether lane i is active.
+func (m Mask) Test(lane int) bool { return m&(1<<lane) != 0 }
+
+// ForEach calls fn for every active lane, in ascending lane order. It is
+// the emulation of the scalar extraction loop that follows a movemask.
+func (m Mask) ForEach(fn func(lane int)) {
+	for w := uint32(m); w != 0; w &= w - 1 {
+		fn(bits.TrailingZeros32(w))
+	}
+}
+
+// Engine executes vector operations at a fixed register width.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	w        int
+	laneMask Mask // (1<<w)-1
+}
+
+// New returns an Engine with w lanes. w must be one of SupportedWidths.
+func New(w int) *Engine {
+	for _, s := range SupportedWidths {
+		if w == s {
+			return &Engine{w: w, laneMask: Mask(1<<w - 1)}
+		}
+	}
+	panic(fmt.Sprintf("vec: unsupported width %d (want one of %v)", w, SupportedWidths))
+}
+
+// Width returns the number of lanes.
+func (e *Engine) Width() int { return e.w }
+
+// LaneMask returns the all-lanes-active mask.
+func (e *Engine) LaneMask() Mask { return e.laneMask }
+
+// Broadcast returns a register with every lane equal to v
+// (the _mm256_set1_epi32 idiom).
+func (e *Engine) Broadcast(v uint32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = v
+	}
+	return r
+}
+
+// Iota returns {base, base+1, ..., base+W-1}: the lane-position register
+// used to translate lane numbers back into input offsets.
+func (e *Engine) Iota(base uint32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = base + uint32(i)
+	}
+	return r
+}
+
+// LoadBytes fills a raw byte register from input[base:]. It is the
+// "fill register with raw input" step (Algorithm 2, line 7). The caller
+// must guarantee base+4*W+<shuffle reach> stays in bounds; WindowSpan
+// gives the exact requirement for the window loads below.
+func (e *Engine) LoadBytes(input []byte, base int) Bytes {
+	var r Bytes
+	copy(r[:], input[base:])
+	return r
+}
+
+// Shuffle permutes a byte register: out[i] = r[mask[i]] for mask[i] >= 0,
+// and 0 where mask[i] < 0 (the pshufb zeroing convention). Only the first
+// 4*W output bytes are produced.
+func (e *Engine) Shuffle(r Bytes, mask []int8) Bytes {
+	var out Bytes
+	n := 4 * e.w
+	if len(mask) < n {
+		panic("vec: shuffle mask shorter than register")
+	}
+	for i := 0; i < n; i++ {
+		if mask[i] >= 0 {
+			out[i] = r[mask[i]]
+		}
+	}
+	return out
+}
+
+// Window2Mask builds the shuffle mask M1 that converts consecutive input
+// bytes into W lanes each holding a 2-byte sliding window in its low half
+// (Fig. 2): lane i = input[i] | input[i+1]<<8.
+func (e *Engine) Window2Mask() []int8 {
+	m := make([]int8, 4*e.w)
+	for i := 0; i < e.w; i++ {
+		m[4*i] = int8(i)
+		m[4*i+1] = int8(i + 1)
+		m[4*i+2] = -1
+		m[4*i+3] = -1
+	}
+	return m
+}
+
+// Window4Mask builds the shuffle mask M2 for 4-byte sliding windows:
+// lane i = little-endian 32-bit load of input[i..i+3].
+func (e *Engine) Window4Mask() []int8 {
+	m := make([]int8, 4*e.w)
+	for i := 0; i < e.w; i++ {
+		for j := 0; j < 4; j++ {
+			m[4*i+j] = int8(i + j)
+		}
+	}
+	return m
+}
+
+// ToU32 reinterprets a byte register as W little-endian 32-bit lanes.
+func (e *Engine) ToU32(r Bytes) U32 {
+	var out U32
+	for i := 0; i < e.w; i++ {
+		out[i] = uint32(r[4*i]) | uint32(r[4*i+1])<<8 |
+			uint32(r[4*i+2])<<16 | uint32(r[4*i+3])<<24
+	}
+	return out
+}
+
+// WindowSpan returns how many input bytes an iteration starting at base
+// consumes: W windows of up to 4 bytes each need W+3 bytes.
+func (e *Engine) WindowSpan() int { return e.w + 3 }
+
+// Windows2 is the fused load+shuffle producing W 2-byte sliding windows
+// starting at input[base]. Semantically identical to
+// ToU32(Shuffle(LoadBytes(input, base), Window2Mask())).
+func (e *Engine) Windows2(input []byte, base int) U32 {
+	var r U32
+	_ = input[base+e.w] // one bounds check for the whole register
+	for i := 0; i < e.w; i++ {
+		r[i] = uint32(input[base+i]) | uint32(input[base+i+1])<<8
+	}
+	return r
+}
+
+// Windows4 is the fused load+shuffle producing W 4-byte sliding windows.
+func (e *Engine) Windows4(input []byte, base int) U32 {
+	var r U32
+	_ = input[base+e.w+2]
+	for i := 0; i < e.w; i++ {
+		r[i] = uint32(input[base+i]) | uint32(input[base+i+1])<<8 |
+			uint32(input[base+i+2])<<16 | uint32(input[base+i+3])<<24
+	}
+	return r
+}
+
+// GatherU8 fetches table[idx[i]] into lane i — the vpgatherdd access
+// pattern restricted to byte tables. Indexes are the caller's
+// responsibility to keep in range (filters mask them beforehand).
+func (e *Engine) GatherU8(table []byte, idx U32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = uint32(table[idx[i]])
+	}
+	return r
+}
+
+// GatherU16 fetches 16-bit words: the merged-filter gather (Fig. 3) that
+// brings filter-1 and filter-2 state into the register simultaneously.
+func (e *Engine) GatherU16(table []uint16, idx U32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = uint32(table[idx[i]])
+	}
+	return r
+}
+
+// ShiftRightConst returns v >> k per lane.
+func (e *Engine) ShiftRightConst(v U32, k uint32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = v[i] >> k
+	}
+	return r
+}
+
+// AndConst returns v & c per lane.
+func (e *Engine) AndConst(v U32, c uint32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = v[i] & c
+	}
+	return r
+}
+
+// AddConst returns v + c per lane (e.g. selecting the merged filter's
+// high bit plane by offsetting the bit position by 8).
+func (e *Engine) AddConst(v U32, c uint32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = v[i] + c
+	}
+	return r
+}
+
+// And returns a & b per lane.
+func (e *Engine) And(a, b U32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = a[i] & b[i]
+	}
+	return r
+}
+
+// MulConst returns v * c per lane (the multiplicative hash step).
+func (e *Engine) MulConst(v U32, c uint32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = v[i] * c
+	}
+	return r
+}
+
+// ShiftRightVar returns v[i] >> k[i] per lane (variable shift, AVX2 vpsrlvd).
+func (e *Engine) ShiftRightVar(v, k U32) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		r[i] = v[i] >> (k[i] & 31)
+	}
+	return r
+}
+
+// TestBit extracts bit (pos[i] & 7) of word[i] per lane and returns the
+// movemask of the results: the filter membership test. A second bit plane
+// (e.g. the merged filter's high byte) is selected by adding 8 to pos.
+func (e *Engine) TestBit(word, pos U32) Mask {
+	var m Mask
+	for i := 0; i < e.w; i++ {
+		m |= Mask((word[i]>>(pos[i]&15))&1) << i
+	}
+	return m
+}
+
+// MovemaskNonzero returns the mask of lanes whose value is non-zero
+// (vpcmpeqd against zero + movemask, inverted).
+func (e *Engine) MovemaskNonzero(v U32) Mask {
+	var m Mask
+	for i := 0; i < e.w; i++ {
+		if v[i] != 0 {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// CompressStore appends base+lane for every active lane of m to dst and
+// returns the extended slice. This is the "store positions of matches"
+// step (Algorithm 2, lines 11 and 19): a movemask followed by a scalar
+// extraction loop over set bits.
+func (e *Engine) CompressStore(dst []int32, base int32, m Mask) []int32 {
+	for w := uint32(m); w != 0; w &= w - 1 {
+		dst = append(dst, base+int32(bits.TrailingZeros32(w)))
+	}
+	return dst
+}

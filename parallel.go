@@ -1,0 +1,172 @@
+package vpatch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vpatch/internal/patterns"
+)
+
+// FindAllParallel scans one large input with several workers, each
+// owning a shard of the input — the deployment the paper's evaluation
+// assumes for multi-core scaling ("different hardware threads can
+// operate independently on different parts of the stream"). Shards
+// overlap by maxPatternLen-1 bytes so matches spanning a boundary are
+// found by exactly one worker; the result is identical to FindAll.
+//
+// workers <= 0 selects GOMAXPROCS. Each worker compiles its own matcher
+// from set (matchers are not concurrency-safe); for repeated scans,
+// compile once per worker yourself and reuse.
+func FindAllParallel(set *PatternSet, input []byte, opt Options, workers int) ([]Match, error) {
+	if set == nil {
+		return nil, fmt.Errorf("vpatch: nil pattern set")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(input) {
+		workers = len(input)
+	}
+	if workers <= 1 {
+		return FindAll(set, input, opt)
+	}
+	// Validate options once before spawning workers.
+	if _, err := New(set, opt); err != nil {
+		return nil, err
+	}
+
+	maxLen := 1
+	for i := range set.Patterns() {
+		if n := set.Patterns()[i].Len(); n > maxLen {
+			maxLen = n
+		}
+	}
+
+	results := make([][]Match, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	shard := (len(input) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * shard
+		end := start + shard
+		if end > len(input) {
+			end = len(input)
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			m, err := New(set, opt)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			// Read past the shard end so spanning matches complete, but
+			// emit only matches that *start* inside the shard.
+			readEnd := end + maxLen - 1
+			if readEnd > len(input) {
+				readEnd = len(input)
+			}
+			var out []Match
+			m.Scan(input[start:readEnd], nil, func(mm Match) {
+				pos := int(mm.Pos) + start
+				if pos < end {
+					out = append(out, Match{PatternID: mm.PatternID, Pos: int32(pos)})
+				}
+			})
+			results[w] = out
+		}(w, start, end)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []Match
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	patterns.SortMatches(all)
+	return all, nil
+}
+
+// CountParallel returns only the number of matches found by
+// FindAllParallel-equivalent sharded scanning (without materializing the
+// matches).
+func CountParallel(set *PatternSet, input []byte, opt Options, workers int) (uint64, error) {
+	if set == nil {
+		return 0, fmt.Errorf("vpatch: nil pattern set")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(input) {
+		workers = len(input)
+	}
+	if workers <= 1 {
+		m, err := New(set, opt)
+		if err != nil {
+			return 0, err
+		}
+		return Count(m, input), nil
+	}
+	if _, err := New(set, opt); err != nil {
+		return 0, err
+	}
+	maxLen := 1
+	for i := range set.Patterns() {
+		if n := set.Patterns()[i].Len(); n > maxLen {
+			maxLen = n
+		}
+	}
+	counts := make([]uint64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	shard := (len(input) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * shard
+		end := start + shard
+		if end > len(input) {
+			end = len(input)
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			m, err := New(set, opt)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			readEnd := end + maxLen - 1
+			if readEnd > len(input) {
+				readEnd = len(input)
+			}
+			limit := int32(end - start)
+			n := uint64(0)
+			m.Scan(input[start:readEnd], nil, func(mm Match) {
+				if mm.Pos < limit {
+					n++
+				}
+			})
+			counts[w] = n
+		}(w, start, end)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	total := uint64(0)
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}

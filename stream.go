@@ -1,0 +1,82 @@
+package vpatch
+
+import (
+	"fmt"
+)
+
+// StreamScanner scans an unbounded byte stream delivered in chunks (the
+// reassembled protocol stream of a NIDS), finding matches that span chunk
+// boundaries. It keeps a carry of the last maxPatternLen-1 bytes of the
+// stream; each Write scans carry+chunk and reports only matches that end
+// inside the new bytes, so no match is missed or double-reported.
+//
+// Offsets in emitted matches are absolute stream offsets.
+type StreamScanner struct {
+	m        Matcher
+	emit     EmitFunc
+	carry    []byte
+	maxLen   int
+	consumed int64 // total stream bytes fully processed (end of carry)
+}
+
+// NewStreamScanner wraps a Matcher for chunked scanning. emit receives
+// every match with absolute stream offsets; it must be non-nil.
+func NewStreamScanner(m Matcher, emit EmitFunc) (*StreamScanner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("vpatch: nil matcher")
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("vpatch: nil emit func")
+	}
+	maxLen := 1
+	for i := range m.Set().Patterns() {
+		if n := m.Set().Patterns()[i].Len(); n > maxLen {
+			maxLen = n
+		}
+	}
+	return &StreamScanner{
+		m:      m,
+		emit:   emit,
+		carry:  make([]byte, 0, (maxLen-1)*2),
+		maxLen: maxLen,
+	}, nil
+}
+
+// Write feeds the next chunk of the stream. It may be called with chunks
+// of any size, including empty ones.
+func (s *StreamScanner) Write(chunk []byte) (int, error) {
+	if len(chunk) == 0 {
+		return 0, nil
+	}
+	buf := append(s.carry, chunk...)
+	carryLen := len(s.carry)
+	base := s.consumed - int64(carryLen)
+
+	// Matches that end at or before carryLen were already reported by an
+	// earlier Write (they lie entirely within the carry).
+	s.m.Scan(buf, nil, func(m Match) {
+		end := int(m.Pos) + s.m.Set().Pattern(m.PatternID).Len()
+		if end <= carryLen {
+			return
+		}
+		s.emit(Match{PatternID: m.PatternID, Pos: int32(base + int64(m.Pos))})
+	})
+
+	s.consumed += int64(len(chunk))
+	keep := s.maxLen - 1
+	if keep > len(buf) {
+		keep = len(buf)
+	}
+	// Re-slice into the scanner-owned buffer so callers may reuse chunk.
+	s.carry = append(s.carry[:0], buf[len(buf)-keep:]...)
+	return len(chunk), nil
+}
+
+// Consumed returns the total number of stream bytes processed so far.
+func (s *StreamScanner) Consumed() int64 { return s.consumed }
+
+// Reset prepares the scanner for a new stream (carry and offsets clear).
+func (s *StreamScanner) Reset() {
+	s.carry = s.carry[:0]
+	s.consumed = 0
+}

@@ -1,0 +1,178 @@
+package vpatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"vpatch/internal/patterns"
+	"vpatch/internal/traffic"
+)
+
+func collectStream(t *testing.T, m Matcher, chunks [][]byte) []Match {
+	t.Helper()
+	var out []Match
+	s, err := NewStreamScanner(m, func(mm Match) { out = append(out, mm) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range chunks {
+		n, err := s.Write(ch)
+		if err != nil || n != len(ch) {
+			t.Fatalf("Write: n=%d err=%v", n, err)
+		}
+	}
+	return out
+}
+
+func TestStreamConstructorErrors(t *testing.T) {
+	m, _ := New(PatternSetFromStrings("ab"), Options{})
+	if _, err := NewStreamScanner(nil, func(Match) {}); err == nil {
+		t.Fatal("nil matcher accepted")
+	}
+	if _, err := NewStreamScanner(m, nil); err == nil {
+		t.Fatal("nil emit accepted")
+	}
+}
+
+func TestStreamMatchesWholeInputScan(t *testing.T) {
+	set := PatternSetFromStrings("chunk-spanning-pattern", "GET", "ab")
+	input := []byte("ab GET chunk-spanning-pattern GET abchunk-spanning-patternab")
+	m, _ := New(set, Options{})
+	want, _ := FindAll(set, input, Options{})
+
+	// Split so the long pattern straddles every boundary.
+	for _, cut := range []int{1, 5, 10, 15, 25, 40} {
+		chunks := [][]byte{input[:cut], input[cut:]}
+		got := collectStream(t, m, chunks)
+		if !patterns.EqualMatches(got, append([]Match(nil), want...)) {
+			t.Fatalf("cut %d: stream %d matches, whole %d", cut, len(got), len(want))
+		}
+	}
+}
+
+func TestStreamByteAtATime(t *testing.T) {
+	set := PatternSetFromStrings("abc", "cab")
+	input := []byte("abcabcababcab")
+	m, _ := New(set, Options{})
+	want, _ := FindAll(set, input, Options{})
+	var chunks [][]byte
+	for i := range input {
+		chunks = append(chunks, input[i:i+1])
+	}
+	got := collectStream(t, m, chunks)
+	if !patterns.EqualMatches(got, append([]Match(nil), want...)) {
+		t.Fatalf("byte-at-a-time: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestStreamNoDuplicatesWithinCarry(t *testing.T) {
+	// A match entirely inside the carry region must not be re-reported
+	// when the next chunk arrives.
+	set := PatternSetFromStrings("abcdefgh", "cd")
+	m, _ := New(set, Options{})
+	input := []byte("xxcdxxxxyyyy")
+	chunks := [][]byte{input[:6], input[6:9], input[9:]}
+	got := collectStream(t, m, chunks)
+	want, _ := FindAll(set, input, Options{})
+	if !patterns.EqualMatches(got, append([]Match(nil), want...)) {
+		t.Fatalf("duplicate or missing matches: got %v want %v", got, want)
+	}
+}
+
+func TestStreamRandomSplitsEqualWholeScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	set := patterns.GenerateS1(3).Subset(60, 2)
+	input := traffic.Synthesize(traffic.ISCXDay6, 16<<10, 4, set)
+	m, _ := New(set, Options{})
+	want, _ := FindAll(set, input, Options{})
+	for trial := 0; trial < 5; trial++ {
+		var chunks [][]byte
+		for pos := 0; pos < len(input); {
+			n := 1 + rng.Intn(4096)
+			if pos+n > len(input) {
+				n = len(input) - pos
+			}
+			chunks = append(chunks, input[pos:pos+n])
+			pos += n
+		}
+		got := collectStream(t, m, chunks)
+		if !patterns.EqualMatches(got, append([]Match(nil), want...)) {
+			t.Fatalf("trial %d: stream diverges from whole-input scan", trial)
+		}
+	}
+}
+
+func TestStreamAbsoluteOffsets(t *testing.T) {
+	set := PatternSetFromStrings("zz")
+	m, _ := New(set, Options{})
+	var got []Match
+	s, _ := NewStreamScanner(m, func(mm Match) { got = append(got, mm) })
+	s.Write([]byte("aaaa"))   // offsets 0-3
+	s.Write([]byte("zz"))     // offsets 4-5
+	s.Write([]byte("aazzaa")) // zz at 8
+	if len(got) != 2 || got[0].Pos != 4 || got[1].Pos != 8 {
+		t.Fatalf("absolute offsets wrong: %v", got)
+	}
+	if s.Consumed() != 12 {
+		t.Fatalf("Consumed = %d", s.Consumed())
+	}
+}
+
+func TestStreamEmptyWrites(t *testing.T) {
+	m, _ := New(PatternSetFromStrings("ab"), Options{})
+	s, _ := NewStreamScanner(m, func(Match) {})
+	if n, err := s.Write(nil); n != 0 || err != nil {
+		t.Fatal("empty write must be a no-op")
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	set := PatternSetFromStrings("ab")
+	m, _ := New(set, Options{})
+	var got []Match
+	s, _ := NewStreamScanner(m, func(mm Match) { got = append(got, mm) })
+	s.Write([]byte("a"))
+	s.Reset()
+	s.Write([]byte("b")) // must NOT combine with the pre-reset "a"
+	if len(got) != 0 {
+		t.Fatalf("match across Reset: %v", got)
+	}
+	if s.Consumed() != 1 {
+		t.Fatalf("Consumed after reset = %d", s.Consumed())
+	}
+	s.Write([]byte("ab"))
+	if len(got) != 1 || got[0].Pos != 1 {
+		t.Fatalf("post-reset offsets wrong: %v", got)
+	}
+}
+
+func TestStreamCallerMayReuseChunkBuffer(t *testing.T) {
+	set := PatternSetFromStrings("abcd")
+	m, _ := New(set, Options{})
+	var got []Match
+	s, _ := NewStreamScanner(m, func(mm Match) { got = append(got, mm) })
+	buf := make([]byte, 2)
+	copy(buf, "ab")
+	s.Write(buf)
+	copy(buf, "cd") // caller reuses the buffer; carry must not alias it
+	s.Write(buf)
+	if len(got) != 1 || got[0].Pos != 0 {
+		t.Fatalf("buffer aliasing broke carry: %v", got)
+	}
+}
+
+func TestStreamAllAlgorithms(t *testing.T) {
+	set := PatternSetFromStrings("span-this", "GE")
+	input := []byte("x GE span-this GE span-this")
+	want, _ := FindAll(set, input, Options{})
+	for _, alg := range allAlgorithms {
+		m, err := New(set, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectStream(t, m, [][]byte{input[:7], input[7:16], input[16:]})
+		if !patterns.EqualMatches(got, append([]Match(nil), want...)) {
+			t.Fatalf("%v: stream scan diverges", alg)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package vpatch is an exact multiple-pattern-matching library for
+// network-security workloads, reproducing "Multiple Pattern Matching for
+// Network Security Applications: Acceleration through Vectorization"
+// (Stylianopoulos et al., ICPP 2017).
+//
+// It provides the paper's contribution — the S-PATCH and V-PATCH
+// cache-aware, vectorization-friendly filtering matchers — together with
+// every baseline the paper evaluates (Aho-Corasick as used by Snort, DFC,
+// Vector-DFC) plus Wu-Manber from its related-work discussion, all behind
+// one Matcher interface with identical match semantics:
+//
+//	set := vpatch.NewPatternSet()
+//	set.Add([]byte("attack"), false, vpatch.ProtoHTTP)
+//	m, err := vpatch.New(set, vpatch.Options{Algorithm: vpatch.AlgoVPatch})
+//	if err != nil { ... }
+//	m.Scan(payload, nil, func(match vpatch.Match) {
+//		fmt.Printf("pattern %d at offset %d\n", match.PatternID, match.Pos)
+//	})
+//
+// Every matcher reports every occurrence of every pattern (pattern ID and
+// start offset), byte-identical across algorithms; case-insensitive
+// patterns are supported throughout. For scanning unbounded streams in
+// chunks, see StreamScanner.
+package vpatch
+
+import (
+	"fmt"
+
+	"vpatch/internal/ahocorasick"
+	"vpatch/internal/core"
+	"vpatch/internal/dfc"
+	"vpatch/internal/ffbf"
+	"vpatch/internal/metrics"
+	"vpatch/internal/patterns"
+	"vpatch/internal/wumanber"
+)
+
+// Re-exported pattern-set vocabulary. These are aliases, so values flow
+// between the public API and the internal packages without conversion.
+type (
+	// Match is one reported occurrence: the pattern's ID and the start
+	// offset of the occurrence in the scanned input.
+	Match = patterns.Match
+	// Pattern is one compiled search pattern.
+	Pattern = patterns.Pattern
+	// PatternSet is an immutable collection of patterns.
+	PatternSet = patterns.Set
+	// Protocol tags a pattern with its traffic class.
+	Protocol = patterns.Protocol
+	// Counters collects per-scan instrumentation; pass nil to Scan when
+	// not needed (instrumentation costs a few percent of throughput).
+	Counters = metrics.Counters
+	// EmitFunc receives matches during a scan; nil means count-only.
+	EmitFunc = patterns.EmitFunc
+)
+
+// Protocol tags, re-exported.
+const (
+	ProtoGeneric = patterns.ProtoGeneric
+	ProtoHTTP    = patterns.ProtoHTTP
+	ProtoDNS     = patterns.ProtoDNS
+	ProtoFTP     = patterns.ProtoFTP
+	ProtoSMTP    = patterns.ProtoSMTP
+)
+
+// NewPatternSet returns an empty pattern set.
+func NewPatternSet() *PatternSet { return patterns.NewSet() }
+
+// PatternSetFromStrings builds a case-sensitive set from literals.
+func PatternSetFromStrings(ss ...string) *PatternSet { return patterns.FromStrings(ss...) }
+
+// Algorithm selects the matching engine.
+type Algorithm int
+
+const (
+	// AlgoVPatch is the paper's contribution: vectorized two-round
+	// filtering (the default).
+	AlgoVPatch Algorithm = iota
+	// AlgoSPatch is the scalar version of the same design.
+	AlgoSPatch
+	// AlgoDFC is Direct Filter Classification (Choi et al., NSDI'16).
+	AlgoDFC
+	// AlgoVectorDFC is the direct vectorization of DFC's filtering.
+	AlgoVectorDFC
+	// AlgoAhoCorasick is the Snort-style full-matrix automaton.
+	AlgoAhoCorasick
+	// AlgoWuManber is the shift-table matcher from related work.
+	AlgoWuManber
+	// AlgoFFBF is the feed-forward-Bloom-filter matcher (Moraru &
+	// Andersen, the paper's reference [13]).
+	AlgoFFBF
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoVPatch:
+		return "V-PATCH"
+	case AlgoSPatch:
+		return "S-PATCH"
+	case AlgoDFC:
+		return "DFC"
+	case AlgoVectorDFC:
+		return "Vector-DFC"
+	case AlgoAhoCorasick:
+		return "Aho-Corasick"
+	case AlgoWuManber:
+		return "Wu-Manber"
+	case AlgoFFBF:
+		return "FFBF"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Options configures New. The zero value selects V-PATCH with the
+// paper's defaults (W=8 lanes, 16 KB filter 3, 64 KB chunks).
+type Options struct {
+	// Algorithm selects the engine (default AlgoVPatch).
+	Algorithm Algorithm
+	// VectorWidth is the emulated register width in 32-bit lanes for the
+	// vectorized engines: 4, 8 (default, AVX2) or 16 (AVX-512/Xeon Phi).
+	VectorWidth int
+	// ChunkSize is the filtering-round granularity of S-PATCH/V-PATCH in
+	// bytes (default 64 KB).
+	ChunkSize int
+	// Filter3Log2Bits sizes S-PATCH/V-PATCH's 4-byte hash filter as
+	// 2^n bits (default 17 = 16 KB).
+	Filter3Log2Bits uint
+	// MaxAutomatonBytes caps Aho-Corasick's full-matrix size before the
+	// sparse fallback (default 256 MB; negative forces sparse).
+	MaxAutomatonBytes int
+}
+
+// Matcher scans inputs for all patterns of its compiled set. Matchers are
+// safe for repeated use; a single Matcher must not be used from multiple
+// goroutines concurrently (compile one per worker — compiled sets are
+// cheap relative to scan volume, and the underlying pattern set can be
+// shared).
+type Matcher interface {
+	// Scan reports every occurrence of every pattern in input, in
+	// nondecreasing start-offset order per pattern class. c and emit may
+	// be nil; counters accumulate across calls.
+	Scan(input []byte, c *Counters, emit EmitFunc)
+	// Algorithm returns the engine behind this matcher.
+	Algorithm() Algorithm
+	// Set returns the compiled pattern set.
+	Set() *PatternSet
+}
+
+// New compiles a pattern set into a Matcher.
+func New(set *PatternSet, opt Options) (Matcher, error) {
+	if set == nil {
+		return nil, fmt.Errorf("vpatch: nil pattern set")
+	}
+	switch w := opt.VectorWidth; w {
+	case 0, 4, 8, 16:
+	default:
+		return nil, fmt.Errorf("vpatch: unsupported vector width %d (want 4, 8 or 16)", w)
+	}
+	switch opt.Algorithm {
+	case AlgoVPatch:
+		return &wrap{alg: opt.Algorithm, set: set, scanner: core.NewVPatch(set, core.VOptions{
+			Width:           opt.VectorWidth,
+			ChunkSize:       opt.ChunkSize,
+			Filter3Log2Bits: opt.Filter3Log2Bits,
+		})}, nil
+	case AlgoSPatch:
+		return &wrap{alg: opt.Algorithm, set: set, scanner: core.NewSPatch(set, core.Options{
+			ChunkSize:       opt.ChunkSize,
+			Filter3Log2Bits: opt.Filter3Log2Bits,
+		})}, nil
+	case AlgoDFC:
+		return &wrap{alg: opt.Algorithm, set: set, scanner: dfc.Build(set)}, nil
+	case AlgoVectorDFC:
+		return &wrap{alg: opt.Algorithm, set: set, scanner: dfc.BuildVector(set, opt.VectorWidth)}, nil
+	case AlgoAhoCorasick:
+		return &wrap{alg: opt.Algorithm, set: set, scanner: ahocorasick.Build(set, ahocorasick.Options{
+			MaxMatrixBytes: opt.MaxAutomatonBytes,
+		})}, nil
+	case AlgoWuManber:
+		return &wrap{alg: opt.Algorithm, set: set, scanner: wumanber.Build(set)}, nil
+	case AlgoFFBF:
+		return &wrap{alg: opt.Algorithm, set: set, scanner: ffbf.Build(set, ffbf.Options{})}, nil
+	}
+	return nil, fmt.Errorf("vpatch: unknown algorithm %d", int(opt.Algorithm))
+}
+
+// scanner is the common surface of every internal engine.
+type scanner interface {
+	Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc)
+}
+
+type wrap struct {
+	alg     Algorithm
+	set     *PatternSet
+	scanner scanner
+}
+
+func (w *wrap) Scan(input []byte, c *Counters, emit EmitFunc) { w.scanner.Scan(input, c, emit) }
+func (w *wrap) Algorithm() Algorithm                          { return w.alg }
+func (w *wrap) Set() *PatternSet                              { return w.set }
+
+// FindAll is a convenience helper: compile-and-scan in one call,
+// returning all matches sorted by (offset, pattern ID). For repeated
+// scans, compile once with New instead.
+func FindAll(set *PatternSet, input []byte, opt Options) ([]Match, error) {
+	m, err := New(set, opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	m.Scan(input, nil, func(mm Match) { out = append(out, mm) })
+	patterns.SortMatches(out)
+	return out, nil
+}
+
+// Count scans input and returns only the number of matches. It scans
+// un-instrumented (nil counters), so engines take their fastest path.
+func Count(m Matcher, input []byte) uint64 {
+	var n uint64
+	m.Scan(input, nil, func(Match) { n++ })
+	return n
+}
