@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"vpatch"
@@ -57,7 +56,7 @@ func main() {
 		fatal(err)
 	}
 
-	alg, err := parseAlgo(*algoName)
+	alg, err := vpatch.ParseAlgorithm(*algoName)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,26 +108,6 @@ func main() {
 		p := set.Pattern(r.id)
 		fmt.Printf("  sid %5d  %6d alerts  %q\n", r.id+1, r.n, truncate(p.Data, 40))
 	}
-}
-
-func parseAlgo(name string) (vpatch.Algorithm, error) {
-	switch strings.ToLower(name) {
-	case "vpatch":
-		return vpatch.AlgoVPatch, nil
-	case "spatch":
-		return vpatch.AlgoSPatch, nil
-	case "dfc":
-		return vpatch.AlgoDFC, nil
-	case "vectordfc", "vdfc":
-		return vpatch.AlgoVectorDFC, nil
-	case "ac", "ahocorasick":
-		return vpatch.AlgoAhoCorasick, nil
-	case "wumanber", "wm":
-		return vpatch.AlgoWuManber, nil
-	case "ffbf":
-		return vpatch.AlgoFFBF, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
 func truncate(b []byte, n int) string {

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"vpatch"
@@ -30,7 +29,7 @@ func main() {
 	rulesPath := flag.String("rules", "", "Snort-style rules file")
 	patsPath := flag.String("patterns", "", "plain pattern file, one literal per line")
 	inPath := flag.String("in", "", "input file (default stdin)")
-	algoName := flag.String("algo", "vpatch", "algorithm: vpatch spatch dfc vectordfc ac wumanber")
+	algoName := flag.String("algo", "vpatch", "algorithm: vpatch spatch dfc vectordfc ac wumanber ffbf")
 	width := flag.Int("width", 8, "vector width for vectorized algorithms (4, 8, 16)")
 	countOnly := flag.Bool("count", false, "print only the match count and throughput")
 	stream := flag.Bool("stream", false, "scan stdin/file as a stream in 64 KB chunks")
@@ -44,14 +43,15 @@ func main() {
 	if set.Len() == 0 {
 		fatal(fmt.Errorf("no patterns loaded (use -rules or -patterns)"))
 	}
-	alg, err := parseAlgo(*algoName)
+	alg, err := vpatch.ParseAlgorithm(*algoName)
 	if err != nil {
 		fatal(err)
 	}
-	m, err := vpatch.New(set, vpatch.Options{Algorithm: alg, VectorWidth: *width})
+	eng, err := vpatch.Compile(set, vpatch.Options{Algorithm: alg, VectorWidth: *width})
 	if err != nil {
 		fatal(err)
 	}
+	m := eng.NewSession()
 	fmt.Fprintf(os.Stderr, "compiled %d patterns for %s\n", set.Len(), alg)
 
 	var in io.Reader = os.Stdin
@@ -145,24 +145,6 @@ func loadPatterns(rulesPath, patsPath string) (*vpatch.PatternSet, error) {
 		return set, sc.Err()
 	}
 	return vpatch.NewPatternSet(), nil
-}
-
-func parseAlgo(name string) (vpatch.Algorithm, error) {
-	switch strings.ToLower(name) {
-	case "vpatch", "v-patch":
-		return vpatch.AlgoVPatch, nil
-	case "spatch", "s-patch":
-		return vpatch.AlgoSPatch, nil
-	case "dfc":
-		return vpatch.AlgoDFC, nil
-	case "vectordfc", "vector-dfc", "vdfc":
-		return vpatch.AlgoVectorDFC, nil
-	case "ac", "ahocorasick", "aho-corasick":
-		return vpatch.AlgoAhoCorasick, nil
-	case "wumanber", "wu-manber", "wm":
-		return vpatch.AlgoWuManber, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
 func truncate(b []byte, n int) string {

@@ -4,7 +4,7 @@
 // traffic with every algorithm the paper evaluates, reporting alerts and
 // per-algorithm throughput (the single-thread comparison of Fig. 4).
 //
-//	go run ./examples/httpids [-size MB]
+//	go run ./examples/httpids [-size MB] [-algo name]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 func main() {
 	sizeMB := flag.Int("size", 8, "traffic volume in MB")
+	algoName := flag.String("algo", "", "run only this algorithm (vpatch spatch dfc vectordfc ac wumanber ffbf); default: the paper's Fig. 4 lineup")
 	flag.Parse()
 
 	// Rule set: the web-applicable subset of a Snort-v2.9.7-sized
@@ -35,15 +36,22 @@ func main() {
 		vpatch.AlgoAhoCorasick, vpatch.AlgoDFC, vpatch.AlgoVectorDFC,
 		vpatch.AlgoSPatch, vpatch.AlgoVPatch,
 	}
+	if *algoName != "" {
+		alg, err := vpatch.ParseAlgorithm(*algoName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		algos = []vpatch.Algorithm{alg}
+	}
 
 	var baseline float64
 	for _, alg := range algos {
-		m, err := vpatch.New(ruleSet, vpatch.Options{Algorithm: alg})
+		eng, err := vpatch.Compile(ruleSet, vpatch.Options{Algorithm: alg})
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		matches := vpatch.Count(m, data)
+		matches := vpatch.Count(eng.NewSession(), data)
 		elapsed := time.Since(start)
 		gbps := float64(len(data)) * 8 / float64(elapsed.Nanoseconds())
 		if alg == vpatch.AlgoDFC {
@@ -59,9 +67,9 @@ func main() {
 	// Show a few concrete alerts from the winning engine, as an IDS
 	// console would.
 	fmt.Println("\nsample alerts (V-PATCH):")
-	m, _ := vpatch.New(ruleSet, vpatch.Options{})
+	eng, _ := vpatch.Compile(ruleSet, vpatch.Options{})
 	shown := 0
-	m.Scan(data, nil, func(match vpatch.Match) {
+	eng.Scan(data, nil, func(match vpatch.Match) {
 		if shown >= 5 {
 			return
 		}

@@ -21,11 +21,14 @@ func main() {
 	set.Add([]byte{0x90, 0x90, 0x90, 0x90}, false, vpatch.ProtoGeneric) // NOP sled
 
 	// Compile. The zero Options value selects V-PATCH at AVX2 width; any
-	// of the paper's algorithms can be chosen via Options.Algorithm.
-	m, err := vpatch.New(set, vpatch.Options{})
+	// of the paper's algorithms can be chosen via Options.Algorithm. The
+	// Engine is immutable and may be scanned from any goroutine; for hot
+	// loops take a per-goroutine Session.
+	eng, err := vpatch.Compile(set, vpatch.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	m := eng.NewSession()
 
 	payload := []byte("GET /download?f=../../etc/passwd HTTP/1.1\r\n" +
 		"Cookie: q=1' UNION select * FROM users--\r\n\r\n" +

@@ -1,10 +1,11 @@
 // streaming demonstrates the two deployment patterns the paper's system
 // model assumes: (1) chunked scanning of a reassembled protocol stream,
 // where matches may span chunk boundaries (StreamScanner), and
-// (2) multiple independent streams scanned in parallel, one goroutine and
-// one compiled matcher per stream — the paper's multi-hardware-thread
-// scaling argument (§V-A: "different hardware threads operate
-// independently on different parts of the stream").
+// (2) multiple independent streams scanned in parallel — one compiled
+// Engine shared by every goroutine, one cheap Session per goroutine —
+// the paper's multi-hardware-thread scaling argument (§V-A: "different
+// hardware threads operate independently on different parts of the
+// stream").
 //
 //	go run ./examples/streaming [-streams N]
 package main
@@ -28,12 +29,16 @@ func main() {
 
 	ruleSet := patterns.GenerateS1(1).WebSubset()
 
-	// --- Part 1: chunked scanning of one stream. ---
-	fmt.Println("== chunked stream scan ==")
-	single, err := vpatch.New(ruleSet, vpatch.Options{})
+	// One compiled engine serves the whole example: the chunked scan and
+	// every parallel worker below share its read-only tables.
+	eng, err := vpatch.Compile(ruleSet, vpatch.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// --- Part 1: chunked scanning of one stream. ---
+	fmt.Println("== chunked stream scan ==")
+	single := eng.NewSession()
 	stream := traffic.Synthesize(traffic.ISCXDay6, 4<<20, 7, ruleSet)
 
 	var streamed uint64
@@ -58,7 +63,8 @@ func main() {
 		log.Fatalf("BUG: stream scan diverged (%d vs %d)", streamed, whole)
 	}
 
-	// --- Part 2: parallel streams, one matcher per goroutine. ---
+	// --- Part 2: parallel streams, one shared engine, one session per
+	// goroutine. ---
 	fmt.Printf("== %d parallel streams ==\n", *nStreams)
 	streams := make([][]byte, *nStreams)
 	for i := range streams {
@@ -72,13 +78,9 @@ func main() {
 		wg.Add(1)
 		go func(data []byte) {
 			defer wg.Done()
-			// Matchers are not concurrency-safe; compile one per worker
-			// (the pattern set itself is shared and immutable).
-			m, err := vpatch.New(ruleSet, vpatch.Options{})
-			if err != nil {
-				log.Fatal(err)
-			}
-			total.Add(vpatch.Count(m, data))
+			// The engine's compiled tables are immutable and shared; a
+			// Session is the worker's private scratch — no recompilation.
+			total.Add(vpatch.Count(eng.NewSession(), data))
 		}(streams[i])
 	}
 	wg.Wait()

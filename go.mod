@@ -1,0 +1,3 @@
+module vpatch
+
+go 1.21

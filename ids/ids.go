@@ -6,6 +6,13 @@
 // matched only against patterns that are relevant", paper §V-A), and
 // matches surface as alerts with flow context and absolute stream
 // offsets.
+//
+// Rule groups are compiled exactly once, into immutable vpatch.Engines.
+// The Engine type wraps one single-goroutine Shard for the common case;
+// multi-core deployments call NewShard once per worker goroutine — every
+// shard shares the compiled groups (the expensive state) and owns only
+// its flow table, reassembler and scan sessions, so adding a worker
+// costs scratch buffers, not a recompilation of the rule set.
 package ids
 
 import (
@@ -25,21 +32,42 @@ type Alert struct {
 	PatternID int32
 }
 
-// Engine routes flows to per-protocol matchers over one rule set.
+// Engine holds the compiled per-protocol rule groups — immutable and
+// shared — plus a default Shard so single-goroutine callers can feed it
+// segments directly. The compiled groups may serve any number of
+// Shards; Engine's own HandleSegment is single-goroutine (it drives the
+// default shard).
 type Engine struct {
 	set    *vpatch.PatternSet
 	groups map[vpatch.Protocol]*group
+
+	def *Shard
+}
+
+// group is one compiled rule group: the protocol's own rules plus the
+// generic rules, with the subset->original pattern ID mapping. The
+// vpatch.Engine is immutable; every shard scans it through its own
+// session.
+type group struct {
+	eng    *vpatch.Engine
+	origID []int32 // subset pattern ID -> original set pattern ID
+}
+
+// Shard is one worker's view of the pipeline: it shares the Engine's
+// compiled rule groups and owns everything mutable — the reassembler,
+// the flow table, and one scan session per group. Flows must be
+// partitioned across shards by the caller (hash the FlowKey); a Shard
+// is single-goroutine, distinct Shards are fully independent.
+type Shard struct {
+	parent *Engine
 	emit   func(Alert)
 
 	reasm *netsim.Reassembler
 	flows map[netsim.FlowKey]*flowScanner
-}
-
-// group is one compiled rule group: the protocol's own rules plus the
-// generic rules, with the subset->original pattern ID mapping.
-type group struct {
-	matcher vpatch.Matcher
-	origID  []int32 // subset pattern ID -> original set pattern ID
+	// sessions holds this shard's per-group scan state: one session per
+	// compiled group, shared by all of the shard's flows (a shard is one
+	// goroutine, so flows never scan concurrently).
+	sessions map[*group]*vpatch.Session
 }
 
 type flowScanner struct {
@@ -53,7 +81,8 @@ var groupedProtocols = []vpatch.Protocol{
 }
 
 // NewEngine compiles one matcher per protocol group from set, using opt
-// for every matcher. emit receives alerts and must be non-nil.
+// for every group, and attaches a default shard delivering alerts to
+// emit (must be non-nil).
 func NewEngine(set *vpatch.PatternSet, opt vpatch.Options, emit func(Alert)) (*Engine, error) {
 	if emit == nil {
 		return nil, fmt.Errorf("ids: nil alert sink")
@@ -61,8 +90,6 @@ func NewEngine(set *vpatch.PatternSet, opt vpatch.Options, emit func(Alert)) (*E
 	e := &Engine{
 		set:    set,
 		groups: make(map[vpatch.Protocol]*group),
-		emit:   emit,
-		flows:  make(map[netsim.FlowKey]*flowScanner),
 	}
 	// Generic-only group handles flows of unclassified services.
 	if g, err := buildGroup(set, vpatch.ProtoGeneric, opt); err != nil {
@@ -79,7 +106,7 @@ func NewEngine(set *vpatch.PatternSet, opt vpatch.Options, emit func(Alert)) (*E
 			e.groups[proto] = g
 		}
 	}
-	e.reasm = netsim.NewReassembler(e.onPayload)
+	e.def = e.NewShard(emit)
 	return e, nil
 }
 
@@ -103,18 +130,37 @@ func buildGroup(set *vpatch.PatternSet, proto vpatch.Protocol, opt vpatch.Option
 	if sub.Len() == 0 {
 		return nil, nil
 	}
-	m, err := vpatch.New(sub, opt)
+	eng, err := vpatch.Compile(sub, opt)
 	if err != nil {
 		return nil, fmt.Errorf("ids: compiling %v group: %w", proto, err)
 	}
-	return &group{matcher: m, origID: orig}, nil
+	return &group{eng: eng, origID: orig}, nil
+}
+
+// NewShard returns a fresh worker shard over the engine's compiled rule
+// groups, delivering its alerts to emit (must be non-nil). Shards are
+// cheap — scratch buffers and maps, never a recompile — so one per
+// worker goroutine is the intended deployment. Each shard must only see
+// its own partition of the flows (reassembly state is per-shard).
+func (e *Engine) NewShard(emit func(Alert)) *Shard {
+	if emit == nil {
+		panic("ids: nil alert sink")
+	}
+	s := &Shard{
+		parent:   e,
+		emit:     emit,
+		flows:    make(map[netsim.FlowKey]*flowScanner),
+		sessions: make(map[*group]*vpatch.Session, len(e.groups)),
+	}
+	s.reasm = netsim.NewReassembler(s.onPayload)
+	return s
 }
 
 // GroupSizes reports the number of patterns compiled per protocol group.
 func (e *Engine) GroupSizes() map[vpatch.Protocol]int {
 	out := make(map[vpatch.Protocol]int, len(e.groups))
 	for proto, g := range e.groups {
-		out[proto] = g.matcher.Set().Len()
+		out[proto] = g.eng.Set().Len()
 	}
 	return out
 }
@@ -143,21 +189,43 @@ func (e *Engine) groupFor(k netsim.FlowKey) *group {
 	return e.groups[vpatch.ProtoGeneric]
 }
 
+// HandleSegment feeds one captured segment through the default shard.
+// Single-goroutine; multi-core callers use NewShard and feed each shard
+// its flow partition.
+func (e *Engine) HandleSegment(seg netsim.Segment) { e.def.HandleSegment(seg) }
+
+// Flows returns the number of flows tracked by the default shard.
+func (e *Engine) Flows() int { return e.def.Flows() }
+
+// PendingBytes reports buffered out-of-order bytes in the default shard.
+func (e *Engine) PendingBytes() int { return e.def.PendingBytes() }
+
 // HandleSegment feeds one captured segment through reassembly and
 // matching. Segments may arrive reordered or duplicated.
-func (e *Engine) HandleSegment(seg netsim.Segment) { e.reasm.Add(seg) }
+func (s *Shard) HandleSegment(seg netsim.Segment) { s.reasm.Add(seg) }
+
+// session returns the shard's scan session for g, creating it on first
+// use.
+func (s *Shard) session(g *group) *vpatch.Session {
+	sess := s.sessions[g]
+	if sess == nil {
+		sess = g.eng.NewSession()
+		s.sessions[g] = sess
+	}
+	return sess
+}
 
 // onPayload receives contiguous stream bytes from the reassembler.
-func (e *Engine) onPayload(k netsim.FlowKey, payload []byte) {
-	fs := e.flows[k]
+func (s *Shard) onPayload(k netsim.FlowKey, payload []byte) {
+	fs := s.flows[k]
 	if fs == nil {
-		g := e.groupFor(k)
+		g := s.parent.groupFor(k)
 		if g == nil {
 			return // no rules apply to this service at all
 		}
 		flow := k
-		sc, err := vpatch.NewStreamScanner(g.matcher, func(m vpatch.Match) {
-			e.emit(Alert{
+		sc, err := vpatch.NewStreamScanner(s.session(g), func(m vpatch.Match) {
+			s.emit(Alert{
 				Flow:         flow,
 				StreamOffset: int64(m.Pos),
 				PatternID:    g.origID[m.PatternID],
@@ -168,15 +236,15 @@ func (e *Engine) onPayload(k netsim.FlowKey, payload []byte) {
 			panic(err)
 		}
 		fs = &flowScanner{scanner: sc}
-		e.flows[k] = fs
+		s.flows[k] = fs
 	}
 	if _, err := fs.scanner.Write(payload); err != nil {
 		panic(err) // StreamScanner.Write never errors
 	}
 }
 
-// Flows returns the number of flows tracked.
-func (e *Engine) Flows() int { return len(e.flows) }
+// Flows returns the number of flows tracked by this shard.
+func (s *Shard) Flows() int { return len(s.flows) }
 
 // PendingBytes reports buffered out-of-order bytes (diagnostic).
-func (e *Engine) PendingBytes() int { return e.reasm.PendingBytes() }
+func (s *Shard) PendingBytes() int { return s.reasm.PendingBytes() }

@@ -2,6 +2,7 @@ package ids
 
 import (
 	"sort"
+	"sync"
 	"testing"
 
 	"vpatch"
@@ -186,6 +187,61 @@ func TestGroupSizesAndDiagnostics(t *testing.T) {
 	e.HandleSegment(netsim.Segment{Flow: key(1, 80), Seq: 0, Payload: []byte("x")})
 	if e.Flows() != 1 {
 		t.Fatalf("Flows = %d", e.Flows())
+	}
+}
+
+// TestShardsSharePipeline: the engine's compiled groups serve several
+// worker shards concurrently — flows partitioned across shards, one
+// goroutine per shard — and the union of alerts equals a single-shard
+// run. Under -race this also proves shards never write shared state.
+func TestShardsSharePipeline(t *testing.T) {
+	set := mixedRuleSet()
+	flows := map[netsim.FlowKey][]byte{
+		key(1, 80): []byte("xx http-attack-xyz yy generic-bad-001 zz"),
+		key(2, 53): []byte("query dns-poison-abc generic-bad-001 end"),
+		key(3, 21): []byte("USER x ftp-bounce-q PASS generic-bad-001"),
+		key(4, 80): []byte("GET / http-attack-xyz http-attack-xyz"),
+	}
+	segs := netsim.Packetize(flows, netsim.PacketizeOptions{MTU: 11, Seed: 6})
+
+	want := len(collect(t, set, segs))
+	if want == 0 {
+		t.Fatal("test needs alerts")
+	}
+
+	e, err := NewEngine(set, vpatch.Options{}, func(Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nShards = 2
+	counts := make([]int, nShards)
+	shards := make([]*Shard, nShards)
+	for i := range shards {
+		i := i
+		shards[i] = e.NewShard(func(Alert) { counts[i]++ })
+	}
+	// Partition segments by flow (src port parity) and feed each shard
+	// on its own goroutine.
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, s := range segs {
+				if int(s.Flow.SrcPort)%nShards == i {
+					shards[i].HandleSegment(s)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	got := counts[0] + counts[1]
+	if got != want {
+		t.Fatalf("sharded alerts %d (=%v), single-shard %d", got, counts, want)
+	}
+	if shards[0].Flows()+shards[1].Flows() != len(flows) {
+		t.Fatalf("flow partition lost flows: %d + %d, want %d",
+			shards[0].Flows(), shards[1].Flows(), len(flows))
 	}
 }
 

@@ -21,6 +21,7 @@ package ahocorasick
 import (
 	"sort"
 
+	"vpatch/internal/engine"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
 )
@@ -40,7 +41,10 @@ type Options struct {
 	Banded bool
 }
 
-// Matcher is a compiled Aho-Corasick automaton.
+// Matcher is a compiled Aho-Corasick automaton. The automaton is
+// immutable after Build and the scan state (the current DFA state) lives
+// on the stack, so one Matcher may scan from any number of goroutines
+// concurrently.
 type Matcher struct {
 	set    *patterns.Set
 	folded bool // automaton built over folded bytes; verify on output
@@ -204,6 +208,17 @@ func (m *Matcher) buildSparse(nodes []*buildNode) {
 		m.labels[s] = ls
 		m.targets[s] = ts
 	}
+}
+
+var _ engine.Engine = (*Matcher)(nil)
+
+// NewScratch returns nil: the automaton walk keeps no per-scan state
+// beyond locals (engine.Engine).
+func (m *Matcher) NewScratch() engine.Scratch { return nil }
+
+// ScanScratch scans input, ignoring scr (engine.Engine).
+func (m *Matcher) ScanScratch(_ engine.Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.Scan(input, c, emit)
 }
 
 // States returns the number of automaton states.

@@ -19,6 +19,11 @@
 // S-PATCH executes the filtering round with scalar probes; V-PATCH (in
 // vpatch.go) executes it W positions at a time with gathers on the merged
 // filter.
+//
+// Compiled state (filters, verification tables) is immutable after
+// construction; the candidate arrays are per-scan working memory held in
+// a Scratch, so one compiled matcher can serve concurrent scans that
+// each bring their own Scratch (the engine.Engine contract).
 package core
 
 import (
@@ -33,17 +38,37 @@ import (
 // chunk plus both candidate arrays inside L2 next to the filters.
 const DefaultChunkSize = 64 << 10
 
-// common holds everything S-PATCH and V-PATCH share: the filter stage,
-// the verification tables, and the reusable candidate arrays.
+// Scratch is the mutable working memory of one S-PATCH/V-PATCH scan:
+// the candidate arrays of the filtering round (reset per chunk, reused
+// across chunks and scans) plus the no-store sink of the filtering-only
+// measurement mode. A Scratch belongs to exactly one goroutine at a
+// time; the compiled matcher it is used with is never written during a
+// scan.
+type Scratch struct {
+	aShort []int32
+	aLong  []int32
+
+	// sink absorbs filter masks in no-store mode (Fig. 6's
+	// "V-PATCH-filtering" variant) so the work is not dead-code.
+	sink uint32
+}
+
+// NewScratch allocates scan working memory sized for typical candidate
+// densities.
+func NewScratch() *Scratch {
+	return &Scratch{
+		aShort: make([]int32, 0, 4096),
+		aLong:  make([]int32, 0, 4096),
+	}
+}
+
+// common holds the compiled state S-PATCH and V-PATCH share — the filter
+// stage and the verification tables — all read-only after construction.
 type common struct {
 	set      *patterns.Set
 	fs       *filters.SPatchSet
 	verifier *hashtab.Verifier
 	chunk    int
-
-	// Candidate arrays, reset per chunk and reused across chunks/scans.
-	aShort []int32
-	aLong  []int32
 }
 
 func newCommon(set *patterns.Set, filter3Log2Bits uint, chunkSize int) common {
@@ -55,8 +80,6 @@ func newCommon(set *patterns.Set, filter3Log2Bits uint, chunkSize int) common {
 		fs:       filters.BuildSPatch(set, filter3Log2Bits),
 		verifier: hashtab.Build(set),
 		chunk:    chunkSize,
-		aShort:   make([]int32, 0, 4096),
-		aLong:    make([]int32, 0, 4096),
 	}
 }
 
@@ -70,14 +93,14 @@ func (m *common) Set() *patterns.Set { return m.set }
 func (m *common) ChunkSize() int { return m.chunk }
 
 // scalarFilterPos runs the scalar S-PATCH filter chain for position i
-// (Algorithm 1, lines 4-13) and appends candidates. Used by S-PATCH for
-// every position and by V-PATCH for the sub-register tail.
-func (m *common) scalarFilterPos(input []byte, i, n int, c *metrics.Counters) {
+// (Algorithm 1, lines 4-13) and appends candidates to scr. Used by
+// S-PATCH for every position and by V-PATCH for the sub-register tail.
+func (m *common) scalarFilterPos(scr *Scratch, input []byte, i, n int, c *metrics.Counters) {
 	if i+1 >= n {
 		// Final byte: no 2-byte window exists; only 1-byte patterns can
 		// still start here.
 		if m.fs.HasLen1 {
-			m.aShort = append(m.aShort, int32(i))
+			scr.aShort = append(scr.aShort, int32(i))
 		}
 		return
 	}
@@ -87,33 +110,33 @@ func (m *common) scalarFilterPos(input []byte, i, n int, c *metrics.Counters) {
 		c.Filter2Probes++
 	}
 	if m.fs.Filter1.Test(idx) {
-		m.aShort = append(m.aShort, int32(i))
+		scr.aShort = append(scr.aShort, int32(i))
 	}
 	if m.fs.Filter2.Test(idx) && i+4 <= n {
 		if c != nil {
 			c.Filter3Probes++
 		}
 		if m.fs.Filter3.Test4(bitarr.Load4(input[i:])) {
-			m.aLong = append(m.aLong, int32(i))
+			scr.aLong = append(scr.aLong, int32(i))
 		}
 	}
 }
 
 // verifyCandidates replays the candidate arrays against the compact hash
 // tables (Algorithm 1, lines 15-20).
-func (m *common) verifyCandidates(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
-	for _, pos := range m.aShort {
+func (m *common) verifyCandidates(scr *Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	for _, pos := range scr.aShort {
 		m.verifier.VerifyShortAt(input, int(pos), c, emit)
 	}
-	for _, pos := range m.aLong {
+	for _, pos := range scr.aLong {
 		m.verifier.VerifyLongAt(input, int(pos), c, emit)
 	}
 }
 
 // recordCandidates accumulates per-chunk candidate counts.
-func (m *common) recordCandidates(c *metrics.Counters) {
+func (m *common) recordCandidates(scr *Scratch, c *metrics.Counters) {
 	if c != nil {
-		c.ShortCandidates += uint64(len(m.aShort))
-		c.LongCandidates += uint64(len(m.aLong))
+		c.ShortCandidates += uint64(len(scr.aShort))
+		c.LongCandidates += uint64(len(scr.aLong))
 	}
 }

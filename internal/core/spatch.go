@@ -1,6 +1,7 @@
 package core
 
 import (
+	"vpatch/internal/engine"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
 )
@@ -8,10 +9,20 @@ import (
 // SPatch is the scalar algorithm of §IV-A: DFC's filtering redesigned for
 // realistic traffic (dedicated short-pattern filter, 4-byte corroboration
 // for long patterns) and restructured into separate filtering and
-// verification rounds.
+// verification rounds. The compiled matcher is immutable; scans carry
+// their working memory in a Scratch, so one SPatch may be shared by any
+// number of goroutines each scanning with its own Scratch.
 type SPatch struct {
 	common
+
+	// scr backs the scratch-less Scan/FilterOnly convenience methods,
+	// which therefore remain single-goroutine (use ScanScratch with
+	// per-goroutine scratches for concurrent scans). Allocated lazily so
+	// engines scanned only through sessions never pay for it.
+	scr *Scratch
 }
+
+var _ engine.Engine = (*SPatch)(nil)
 
 // Options configures S-PATCH construction.
 type Options struct {
@@ -27,9 +38,32 @@ func NewSPatch(set *patterns.Set, opt Options) *SPatch {
 	return &SPatch{common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize)}
 }
 
+// builtinScratch lazily allocates the scratch behind the scratch-less
+// convenience methods.
+func (m *SPatch) builtinScratch() *Scratch {
+	if m.scr == nil {
+		m.scr = NewScratch()
+	}
+	return m.scr
+}
+
+// NewScratch allocates per-goroutine scan state (engine.Engine).
+func (m *SPatch) NewScratch() engine.Scratch { return NewScratch() }
+
+// ScanScratch scans input using scr as working memory. Calls with
+// distinct scratches may run concurrently (engine.Engine).
+func (m *SPatch) ScanScratch(scr engine.Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.scan(scr.(*Scratch), input, c, emit)
+}
+
 // Scan reports every occurrence of every pattern in input. c and emit may
-// be nil.
+// be nil. Scan uses the matcher's built-in scratch and therefore must not
+// be called from multiple goroutines at once; use ScanScratch for that.
 func (m *SPatch) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.scan(m.builtinScratch(), input, c, emit)
+}
+
+func (m *SPatch) scan(scr *Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
 	if c != nil {
 		c.BytesScanned += uint64(len(input))
 	}
@@ -43,12 +77,12 @@ func (m *SPatch) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc)
 		if c != nil {
 			sw = metrics.Start()
 		}
-		m.filterChunk(input, start, end, c)
+		m.filterChunk(scr, input, start, end, c)
 		if c != nil {
 			c.FilteringNs += sw.Stop()
 			sw = metrics.Start()
 		}
-		m.verifyCandidates(input, c, emit)
+		m.verifyCandidates(scr, input, c, emit)
 		if c != nil {
 			c.VerifyNs += sw.Stop()
 		}
@@ -57,14 +91,14 @@ func (m *SPatch) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc)
 
 // filterChunk runs the filtering round over positions [start, end),
 // filling the candidate arrays.
-func (m *SPatch) filterChunk(input []byte, start, end int, c *metrics.Counters) {
-	m.aShort = m.aShort[:0]
-	m.aLong = m.aLong[:0]
+func (m *SPatch) filterChunk(scr *Scratch, input []byte, start, end int, c *metrics.Counters) {
+	scr.aShort = scr.aShort[:0]
+	scr.aLong = scr.aLong[:0]
 	n := len(input)
 	for i := start; i < end; i++ {
-		m.scalarFilterPos(input, i, n, c)
+		m.scalarFilterPos(scr, input, i, n, c)
 	}
-	m.recordCandidates(c)
+	m.recordCandidates(scr, c)
 }
 
 // FilterOnly runs only the filtering rounds over the whole input and
@@ -74,6 +108,7 @@ func (m *SPatch) FilterOnly(input []byte, c *metrics.Counters) (short, long []in
 	if c != nil {
 		c.BytesScanned += uint64(len(input))
 	}
+	scr := m.builtinScratch()
 	n := len(input)
 	for start := 0; start < n; start += m.chunk {
 		end := start + m.chunk
@@ -84,12 +119,12 @@ func (m *SPatch) FilterOnly(input []byte, c *metrics.Counters) (short, long []in
 		if c != nil {
 			sw = metrics.Start()
 		}
-		m.filterChunk(input, start, end, c)
+		m.filterChunk(scr, input, start, end, c)
 		if c != nil {
 			c.FilteringNs += sw.Stop()
 		}
-		short = append(short, m.aShort...)
-		long = append(long, m.aLong...)
+		short = append(short, scr.aShort...)
+		long = append(long, scr.aLong...)
 	}
 	return short, long
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"vpatch/internal/bitarr"
+	"vpatch/internal/engine"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
 	"vpatch/internal/vec"
@@ -24,15 +25,23 @@ import (
 //
 // Verification is identical to S-PATCH's second round. Every deviation
 // from this recipe is available as an ablation switch in VOptions.
+//
+// Like SPatch, the compiled matcher is immutable and all per-scan state
+// lives in a Scratch, so one VPatch serves concurrent per-goroutine
+// scratches.
 type VPatch struct {
 	common
 	eng *vec.Engine
 	opt VOptions
 
-	// sink absorbs filter masks in no-store mode (Fig. 6's
-	// "V-PATCH-filtering" variant) so the work is not dead-code.
-	sink uint32
+	// scr backs the scratch-less Scan/FilterOnly convenience methods
+	// (single-goroutine; use ScanScratch for concurrent scans).
+	// Allocated lazily so engines scanned only through sessions never
+	// pay for it.
+	scr *Scratch
 }
+
+var _ engine.Engine = (*VPatch)(nil)
 
 // VOptions configures V-PATCH construction. The zero value is the
 // paper's configuration at AVX2 width.
@@ -77,12 +86,35 @@ func NewVPatch(set *patterns.Set, opt VOptions) *VPatch {
 	}
 }
 
+// builtinScratch lazily allocates the scratch behind the scratch-less
+// convenience methods.
+func (m *VPatch) builtinScratch() *Scratch {
+	if m.scr == nil {
+		m.scr = NewScratch()
+	}
+	return m.scr
+}
+
 // Width returns the vector width in lanes.
 func (m *VPatch) Width() int { return m.eng.Width() }
 
+// NewScratch allocates per-goroutine scan state (engine.Engine).
+func (m *VPatch) NewScratch() engine.Scratch { return NewScratch() }
+
+// ScanScratch scans input using scr as working memory. Calls with
+// distinct scratches may run concurrently (engine.Engine).
+func (m *VPatch) ScanScratch(scr engine.Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.scan(scr.(*Scratch), input, c, emit)
+}
+
 // Scan reports every occurrence of every pattern in input. c and emit may
-// be nil.
+// be nil. Scan uses the matcher's built-in scratch and therefore must not
+// be called from multiple goroutines at once; use ScanScratch for that.
 func (m *VPatch) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.scan(m.builtinScratch(), input, c, emit)
+}
+
+func (m *VPatch) scan(scr *Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
 	if c != nil {
 		c.BytesScanned += uint64(len(input))
 	}
@@ -96,12 +128,12 @@ func (m *VPatch) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc)
 		if c != nil {
 			sw = metrics.Start()
 		}
-		m.filterChunk(input, start, end, c, true)
+		m.filterChunk(scr, input, start, end, c, true)
 		if c != nil {
 			c.FilteringNs += sw.Stop()
 			sw = metrics.Start()
 		}
-		m.verifyCandidates(input, c, emit)
+		m.verifyCandidates(scr, input, c, emit)
 		if c != nil {
 			c.VerifyNs += sw.Stop()
 		}
@@ -116,6 +148,7 @@ func (m *VPatch) FilterOnly(input []byte, c *metrics.Counters, stores bool) (sho
 	if c != nil {
 		c.BytesScanned += uint64(len(input))
 	}
+	scr := m.builtinScratch()
 	n := len(input)
 	for start := 0; start < n; start += m.chunk {
 		end := start + m.chunk
@@ -126,13 +159,13 @@ func (m *VPatch) FilterOnly(input []byte, c *metrics.Counters, stores bool) (sho
 		if c != nil {
 			sw = metrics.Start()
 		}
-		m.filterChunk(input, start, end, c, stores)
+		m.filterChunk(scr, input, start, end, c, stores)
 		if c != nil {
 			c.FilteringNs += sw.Stop()
 		}
 		if stores {
-			short = append(short, m.aShort...)
-			long = append(long, m.aLong...)
+			short = append(short, scr.aShort...)
+			long = append(long, scr.aLong...)
 		}
 	}
 	return short, long
@@ -142,11 +175,11 @@ func (m *VPatch) FilterOnly(input []byte, c *metrics.Counters, stores bool) (sho
 // [start, end). Reads may extend up to 3 bytes past end (within input)
 // because 4-byte windows straddle the chunk boundary, exactly like the
 // scalar algorithm.
-func (m *VPatch) filterChunk(input []byte, start, end int, c *metrics.Counters, stores bool) {
-	m.aShort = m.aShort[:0]
-	m.aLong = m.aLong[:0]
+func (m *VPatch) filterChunk(scr *Scratch, input []byte, start, end int, c *metrics.Counters, stores bool) {
+	scr.aShort = scr.aShort[:0]
+	scr.aLong = scr.aLong[:0]
 	if c == nil && !m.opt.ForceEngine && !m.opt.NoFilterMerge && !m.opt.BranchyFilter3 {
-		m.fusedFilterRange(input, start, end, stores)
+		m.fusedFilterRange(scr, input, start, end, stores)
 		return
 	}
 	n := len(input)
@@ -163,18 +196,18 @@ func (m *VPatch) filterChunk(input []byte, start, end int, c *metrics.Counters, 
 		// 2x unroll: two W-position blocks per iteration (two
 		// independent register pipelines, paper §IV-B last paragraph).
 		for ; i+w <= vecEnd; i += 2 * w {
-			m.filterBlock(input, i, c, stores)
-			m.filterBlock(input, i+w, c, stores)
+			m.filterBlock(scr, input, i, c, stores)
+			m.filterBlock(scr, input, i+w, c, stores)
 		}
 	}
 	for ; i <= vecEnd; i += w {
-		m.filterBlock(input, i, c, stores)
+		m.filterBlock(scr, input, i, c, stores)
 	}
 	// Scalar tail: the final sub-register positions of the chunk.
 	for ; i < end; i++ {
-		m.scalarFilterPos(input, i, n, c)
+		m.scalarFilterPos(scr, input, i, n, c)
 	}
-	m.recordCandidates(c)
+	m.recordCandidates(scr, c)
 }
 
 // fusedFilterRange is the timing-run rendition of the vector filtering
@@ -185,7 +218,7 @@ func (m *VPatch) filterChunk(input []byte, start, end int, c *metrics.Counters, 
 // and carries V-PATCH's two structural advantages over S-PATCH that
 // survive without SIMD hardware: half the filter lookups (merging) and a
 // branch-light inner loop.
-func (m *VPatch) fusedFilterRange(input []byte, start, end int, stores bool) {
+func (m *VPatch) fusedFilterRange(scr *Scratch, input []byte, start, end int, stores bool) {
 	words := m.fs.Merged.Words()
 	f3 := m.fs.Filter3.Bytes()
 	shift := m.fs.Filter3.Shift()
@@ -202,9 +235,9 @@ func (m *VPatch) fusedFilterRange(input []byte, start, end int, stores bool) {
 		bit := idx & 7
 		if wd&(1<<bit) != 0 {
 			if stores {
-				m.aShort = append(m.aShort, int32(i))
+				scr.aShort = append(scr.aShort, int32(i))
 			} else {
-				m.sink ^= uint32(i)
+				scr.sink ^= uint32(i)
 			}
 		}
 		if wd&(1<<(bit+8)) != 0 {
@@ -213,21 +246,21 @@ func (m *VPatch) fusedFilterRange(input []byte, start, end int, stores bool) {
 			key := (v * bitarr.MulHashConst) >> shift
 			if f3[key>>3]&(1<<(key&7)) != 0 {
 				if stores {
-					m.aLong = append(m.aLong, int32(i))
+					scr.aLong = append(scr.aLong, int32(i))
 				} else {
-					m.sink ^= uint32(i) << 8
+					scr.sink ^= uint32(i) << 8
 				}
 			}
 		}
 	}
 	// Positions with fewer than 4 bytes left: scalar chain with guards.
 	for ; i < end; i++ {
-		m.scalarFilterPos(input, i, n, nil)
+		m.scalarFilterPos(scr, input, i, n, nil)
 	}
 }
 
 // filterBlock filters the W positions base..base+W-1 (Algorithm 2 body).
-func (m *VPatch) filterBlock(input []byte, base int, c *metrics.Counters, stores bool) {
+func (m *VPatch) filterBlock(scr *Scratch, input []byte, base int, c *metrics.Counters, stores bool) {
 	eng := m.eng
 	fs := m.fs
 	w := eng.Width()
@@ -265,9 +298,9 @@ func (m *VPatch) filterBlock(input []byte, base int, c *metrics.Counters, stores
 	// Lines 10-12: store filter-1 hits into A_short.
 	if hit1.Any() {
 		if stores {
-			m.aShort = eng.CompressStore(m.aShort, int32(base), hit1)
+			scr.aShort = eng.CompressStore(scr.aShort, int32(base), hit1)
 		} else {
-			m.sink ^= uint32(hit1)
+			scr.sink ^= uint32(hit1)
 		}
 	}
 
@@ -304,9 +337,9 @@ func (m *VPatch) filterBlock(input []byte, base int, c *metrics.Counters, stores
 	}
 	if hit3.Any() {
 		if stores {
-			m.aLong = eng.CompressStore(m.aLong, int32(base), hit3)
+			scr.aLong = eng.CompressStore(scr.aLong, int32(base), hit3)
 		} else {
-			m.sink ^= uint32(hit3) << 16
+			scr.sink ^= uint32(hit3) << 16
 		}
 	}
 }

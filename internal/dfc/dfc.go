@@ -13,6 +13,7 @@ package dfc
 
 import (
 	"vpatch/internal/bitarr"
+	"vpatch/internal/engine"
 	"vpatch/internal/filters"
 	"vpatch/internal/hashtab"
 	"vpatch/internal/metrics"
@@ -20,11 +21,27 @@ import (
 	"vpatch/internal/vec"
 )
 
-// Matcher is the scalar DFC matcher.
+// Matcher is the scalar DFC matcher. All compiled state is read-only
+// after Build and Scan keeps its automaton walk in locals, so one
+// Matcher may scan from any number of goroutines concurrently.
 type Matcher struct {
 	set      *patterns.Set
 	fs       *filters.DFCSet
 	verifier *hashtab.Verifier
+}
+
+var (
+	_ engine.Engine = (*Matcher)(nil)
+	_ engine.Engine = (*VectorMatcher)(nil)
+)
+
+// NewScratch returns nil: DFC keeps no mutable scan state
+// (engine.Engine).
+func (m *Matcher) NewScratch() engine.Scratch { return nil }
+
+// ScanScratch scans input, ignoring scr (engine.Engine).
+func (m *Matcher) ScanScratch(_ engine.Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.Scan(input, c, emit)
 }
 
 // Build compiles the pattern set into a DFC matcher.
@@ -96,7 +113,9 @@ func (m *Matcher) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc
 // as DFC, but the initial-filter probes of W consecutive positions are
 // executed as one vector gather; hit lanes are extracted with a movemask
 // and then follow DFC's scalar path. This is the paper's "direct
-// vectorization of the original DFC done by us".
+// vectorization of the original DFC done by us". Like Matcher (and the
+// vec.Engine it emulates registers with), it holds no mutable scan
+// state, so concurrent Scans are safe.
 type VectorMatcher struct {
 	set      *patterns.Set
 	fs       *filters.DFCSet
@@ -120,6 +139,15 @@ func BuildVector(set *patterns.Set, w int) *VectorMatcher {
 
 // Width returns the vector width in lanes.
 func (m *VectorMatcher) Width() int { return m.eng.Width() }
+
+// NewScratch returns nil: Vector-DFC keeps no mutable scan state
+// (engine.Engine).
+func (m *VectorMatcher) NewScratch() engine.Scratch { return nil }
+
+// ScanScratch scans input, ignoring scr (engine.Engine).
+func (m *VectorMatcher) ScanScratch(_ engine.Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.Scan(input, c, emit)
+}
 
 // Scan runs Vector-DFC over input.
 func (m *VectorMatcher) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {

@@ -1,0 +1,38 @@
+// Package engine defines the contract every internal matching engine
+// implements so the public API can split compilation from scanning:
+// an Engine is the *compiled* form of one matcher — every byte of it is
+// read-only after construction, so a single Engine may be scanned from
+// any number of goroutines — while all mutable per-scan working memory
+// (candidate arrays, vector-lane sinks, accumulators) lives in a
+// Scratch that each goroutine owns privately.
+//
+// This is the immutable-database / per-thread-scratch split production
+// matchers (Hyperscan, YARA) use, and the structure the paper's
+// multi-core scaling argument assumes: one compiled pattern-matching
+// structure shared by all hardware threads, each operating independently
+// on its part of the stream.
+package engine
+
+import (
+	"vpatch/internal/metrics"
+	"vpatch/internal/patterns"
+)
+
+// Scratch is the opaque per-goroutine mutable state of one engine's
+// scan. Engines whose compiled state is their only scan state (their
+// Scan keeps everything in locals) return nil. A Scratch must never be
+// used by two goroutines at once; distinct Scratches over the same
+// Engine are fully independent.
+type Scratch = any
+
+// Engine is the compiled, immutable, goroutine-safe form of one
+// matching algorithm.
+type Engine interface {
+	// NewScratch allocates the mutable working memory one goroutine
+	// needs to scan with this engine (nil for stateless engines).
+	NewScratch() Scratch
+	// ScanScratch scans input using scr as working memory, reporting
+	// every occurrence of every pattern. Calls with distinct scratches
+	// may run concurrently; c and emit may be nil.
+	ScanScratch(scr Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc)
+}

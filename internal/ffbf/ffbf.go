@@ -24,6 +24,7 @@ package ffbf
 
 import (
 	"vpatch/internal/bitarr"
+	"vpatch/internal/engine"
 	"vpatch/internal/filters"
 	"vpatch/internal/hashtab"
 	"vpatch/internal/metrics"
@@ -40,7 +41,11 @@ const DefaultLog2Bits = 18
 // numHashes is k, the number of Bloom hash functions.
 const numHashes = 3
 
-// Matcher is a compiled FFBF matcher.
+// Matcher is a compiled FFBF matcher. The Bloom filter and verification
+// tables are immutable after Build; the shingle window and hash state of
+// a scan are locals (ScanFeedForward's touched-bit recording allocates
+// its own FeedForward per call), so one Matcher may scan from any number
+// of goroutines concurrently.
 type Matcher struct {
 	set *patterns.Set
 
@@ -151,6 +156,17 @@ func (m *Matcher) BloomFillRatio() float64 { return m.bloom.FillRatio() }
 // Scan reports every occurrence of every pattern in input.
 func (m *Matcher) Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
 	m.scan(input, c, emit, nil)
+}
+
+var _ engine.Engine = (*Matcher)(nil)
+
+// NewScratch returns nil: FFBF keeps no mutable scan state
+// (engine.Engine).
+func (m *Matcher) NewScratch() engine.Scratch { return nil }
+
+// ScanScratch scans input, ignoring scr (engine.Engine).
+func (m *Matcher) ScanScratch(_ engine.Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.Scan(input, c, emit)
 }
 
 // ScanFeedForward scans and additionally records the Bloom bits the

@@ -175,6 +175,19 @@ func (s *Set) Len() int { return len(s.pats) }
 // Pattern returns the pattern with the given ID.
 func (s *Set) Pattern(id int32) *Pattern { return &s.pats[id] }
 
+// MaxLen returns the length in bytes of the longest pattern (0 for an
+// empty set). Stream carries and parallel shard overlaps are sized from
+// it: a match can span at most MaxLen()-1 bytes across a boundary.
+func (s *Set) MaxLen() int {
+	m := 0
+	for i := range s.pats {
+		if n := len(s.pats[i].Data); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
 // Patterns returns the underlying pattern slice (read-only by convention).
 func (s *Set) Patterns() []Pattern { return s.pats }
 

@@ -14,6 +14,7 @@ package wumanber
 
 import (
 	"vpatch/internal/bitarr"
+	"vpatch/internal/engine"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
 )
@@ -21,7 +22,9 @@ import (
 // block size in bytes (B in the Wu-Manber paper).
 const blockSize = 2
 
-// Matcher is a compiled Wu-Manber searcher.
+// Matcher is a compiled Wu-Manber searcher. The shift table and buckets
+// are immutable after Build and the sliding window position is a local,
+// so one Matcher may scan from any number of goroutines concurrently.
 type Matcher struct {
 	set    *patterns.Set
 	folded bool
@@ -107,6 +110,17 @@ func Build(set *patterns.Set) *Matcher {
 		}
 	}
 	return m
+}
+
+var _ engine.Engine = (*Matcher)(nil)
+
+// NewScratch returns nil: Wu-Manber keeps no mutable scan state
+// (engine.Engine).
+func (m *Matcher) NewScratch() engine.Scratch { return nil }
+
+// ScanScratch scans input, ignoring scr (engine.Engine).
+func (m *Matcher) ScanScratch(_ engine.Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc) {
+	m.Scan(input, c, emit)
 }
 
 // WindowLen returns m, the effective window (minimum block-capable

@@ -1,7 +1,6 @@
 package vpatch
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -15,36 +14,30 @@ import (
 // overlap by maxPatternLen-1 bytes so matches spanning a boundary are
 // found by exactly one worker; the result is identical to FindAll.
 //
-// workers <= 0 selects GOMAXPROCS. Each worker compiles its own matcher
-// from set (matchers are not concurrency-safe); for repeated scans,
-// compile once per worker yourself and reuse.
+// The pattern set is compiled exactly once; every worker scans the
+// shared Engine through its own Session. workers <= 0 selects
+// GOMAXPROCS. For repeated scans, Compile once yourself and call
+// Engine.FindAllParallel to also amortize compilation across calls.
 func FindAllParallel(set *PatternSet, input []byte, opt Options, workers int) ([]Match, error) {
-	if set == nil {
-		return nil, fmt.Errorf("vpatch: nil pattern set")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(input) {
-		workers = len(input)
-	}
-	if workers <= 1 {
-		return FindAll(set, input, opt)
-	}
-	// Validate options once before spawning workers.
-	if _, err := New(set, opt); err != nil {
+	e, err := Compile(set, opt)
+	if err != nil {
 		return nil, err
 	}
+	return e.FindAllParallel(input, workers), nil
+}
 
-	maxLen := 1
-	for i := range set.Patterns() {
-		if n := set.Patterns()[i].Len(); n > maxLen {
-			maxLen = n
-		}
+// FindAllParallel scans one large input with several workers sharing
+// this compiled engine, each worker owning a shard of the input through
+// its own Session. The result is identical to FindAll. workers <= 0
+// selects GOMAXPROCS.
+func (e *Engine) FindAllParallel(input []byte, workers int) []Match {
+	workers = clampWorkers(workers, len(input))
+	if workers <= 1 {
+		return e.FindAll(input)
 	}
+	overlap := shardOverlap(e.set)
 
 	results := make([][]Match, workers)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	shard := (len(input) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -59,19 +52,15 @@ func FindAllParallel(set *PatternSet, input []byte, opt Options, workers int) ([
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			m, err := New(set, opt)
-			if err != nil {
-				errs[w] = err
-				return
-			}
+			s := e.NewSession()
 			// Read past the shard end so spanning matches complete, but
 			// emit only matches that *start* inside the shard.
-			readEnd := end + maxLen - 1
+			readEnd := end + overlap
 			if readEnd > len(input) {
 				readEnd = len(input)
 			}
 			var out []Match
-			m.Scan(input[start:readEnd], nil, func(mm Match) {
+			s.Scan(input[start:readEnd], nil, func(mm Match) {
 				pos := int(mm.Pos) + start
 				if pos < end {
 					out = append(out, Match{PatternID: mm.PatternID, Pos: int32(pos)})
@@ -81,50 +70,36 @@ func FindAllParallel(set *PatternSet, input []byte, opt Options, workers int) ([
 		}(w, start, end)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	var all []Match
 	for _, r := range results {
 		all = append(all, r...)
 	}
 	patterns.SortMatches(all)
-	return all, nil
+	return all
 }
 
 // CountParallel returns only the number of matches found by
 // FindAllParallel-equivalent sharded scanning (without materializing the
-// matches).
+// matches). Like FindAllParallel, the set is compiled once and shared by
+// all workers.
 func CountParallel(set *PatternSet, input []byte, opt Options, workers int) (uint64, error) {
-	if set == nil {
-		return 0, fmt.Errorf("vpatch: nil pattern set")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(input) {
-		workers = len(input)
-	}
-	if workers <= 1 {
-		m, err := New(set, opt)
-		if err != nil {
-			return 0, err
-		}
-		return Count(m, input), nil
-	}
-	if _, err := New(set, opt); err != nil {
+	e, err := Compile(set, opt)
+	if err != nil {
 		return 0, err
 	}
-	maxLen := 1
-	for i := range set.Patterns() {
-		if n := set.Patterns()[i].Len(); n > maxLen {
-			maxLen = n
-		}
+	return e.CountParallel(input, workers), nil
+}
+
+// CountParallel counts matches with sharded workers sharing this
+// compiled engine (one Session per worker). workers <= 0 selects
+// GOMAXPROCS.
+func (e *Engine) CountParallel(input []byte, workers int) uint64 {
+	workers = clampWorkers(workers, len(input))
+	if workers <= 1 {
+		return Count(e, input)
 	}
+	overlap := shardOverlap(e.set)
 	counts := make([]uint64, workers)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	shard := (len(input) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -139,18 +114,14 @@ func CountParallel(set *PatternSet, input []byte, opt Options, workers int) (uin
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			m, err := New(set, opt)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			readEnd := end + maxLen - 1
+			s := e.NewSession()
+			readEnd := end + overlap
 			if readEnd > len(input) {
 				readEnd = len(input)
 			}
 			limit := int32(end - start)
 			n := uint64(0)
-			m.Scan(input[start:readEnd], nil, func(mm Match) {
+			s.Scan(input[start:readEnd], nil, func(mm Match) {
 				if mm.Pos < limit {
 					n++
 				}
@@ -159,14 +130,30 @@ func CountParallel(set *PatternSet, input []byte, opt Options, workers int) (uin
 		}(w, start, end)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
-		}
-	}
 	total := uint64(0)
 	for _, n := range counts {
 		total += n
 	}
-	return total, nil
+	return total
+}
+
+// clampWorkers resolves the worker count: GOMAXPROCS by default, never
+// more than one worker per input byte.
+func clampWorkers(workers, inputLen int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > inputLen {
+		workers = inputLen
+	}
+	return workers
+}
+
+// shardOverlap is how many bytes past its shard end a worker must read
+// so matches spanning the boundary complete: maxPatternLen-1.
+func shardOverlap(set *PatternSet) int {
+	if n := set.MaxLen(); n > 1 {
+		return n - 1
+	}
+	return 0
 }

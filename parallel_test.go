@@ -126,7 +126,7 @@ func TestParallelProperty(t *testing.T) {
 func BenchmarkFindAllParallel(b *testing.B) {
 	f := benchFixtures()
 	// A larger buffer than the shared fixtures, so the scan dominates
-	// the per-worker matcher compilation CountParallel performs.
+	// the one-time compilation CountParallel performs.
 	data := traffic.Synthesize(traffic.ISCXDay2, 16<<20, 1, f.s1web)
 	for _, workers := range []int{1, 2, 4} {
 		b.Run("workers"+itoa(workers), func(b *testing.B) {

@@ -21,6 +21,12 @@ type StreamScanner struct {
 
 // NewStreamScanner wraps a Matcher for chunked scanning. emit receives
 // every match with absolute stream offsets; it must be non-nil.
+//
+// Pass a *Session to scan with a shared compiled Engine (one
+// StreamScanner per stream, one Session per goroutine; several
+// StreamScanners on one goroutine may share a Session). Passing an
+// *Engine directly also works and is safe from any goroutine, at the
+// cost of a scratch-pool round-trip per Write.
 func NewStreamScanner(m Matcher, emit EmitFunc) (*StreamScanner, error) {
 	if m == nil {
 		return nil, fmt.Errorf("vpatch: nil matcher")
@@ -28,11 +34,9 @@ func NewStreamScanner(m Matcher, emit EmitFunc) (*StreamScanner, error) {
 	if emit == nil {
 		return nil, fmt.Errorf("vpatch: nil emit func")
 	}
-	maxLen := 1
-	for i := range m.Set().Patterns() {
-		if n := m.Set().Patterns()[i].Len(); n > maxLen {
-			maxLen = n
-		}
+	maxLen := m.Set().MaxLen()
+	if maxLen < 1 {
+		maxLen = 1
 	}
 	return &StreamScanner{
 		m:      m,

@@ -6,29 +6,40 @@
 // It provides the paper's contribution — the S-PATCH and V-PATCH
 // cache-aware, vectorization-friendly filtering matchers — together with
 // every baseline the paper evaluates (Aho-Corasick as used by Snort, DFC,
-// Vector-DFC) plus Wu-Manber from its related-work discussion, all behind
-// one Matcher interface with identical match semantics:
+// Vector-DFC) plus Wu-Manber and FFBF from its related-work discussion,
+// all with identical match semantics.
+//
+// The API splits compilation from scanning. Compile builds an Engine: the
+// immutable, goroutine-safe compiled form of a pattern set. An Engine is
+// compiled once and shared — its Scan method may be called from any
+// goroutine. For the lowest-overhead hot path, each goroutine takes a
+// Session (cheap per-goroutine scratch) and scans through that:
 //
 //	set := vpatch.NewPatternSet()
 //	set.Add([]byte("attack"), false, vpatch.ProtoHTTP)
-//	m, err := vpatch.New(set, vpatch.Options{Algorithm: vpatch.AlgoVPatch})
+//	eng, err := vpatch.Compile(set, vpatch.Options{Algorithm: vpatch.AlgoVPatch})
 //	if err != nil { ... }
-//	m.Scan(payload, nil, func(match vpatch.Match) {
+//	s := eng.NewSession() // one per goroutine
+//	s.Scan(payload, nil, func(match vpatch.Match) {
 //		fmt.Printf("pattern %d at offset %d\n", match.PatternID, match.Pos)
 //	})
 //
 // Every matcher reports every occurrence of every pattern (pattern ID and
 // start offset), byte-identical across algorithms; case-insensitive
 // patterns are supported throughout. For scanning unbounded streams in
-// chunks, see StreamScanner.
+// chunks, see StreamScanner; for sharded multi-core scans of one large
+// input, see FindAllParallel.
 package vpatch
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"vpatch/internal/ahocorasick"
 	"vpatch/internal/core"
 	"vpatch/internal/dfc"
+	"vpatch/internal/engine"
 	"vpatch/internal/ffbf"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
@@ -111,7 +122,32 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
-// Options configures New. The zero value selects V-PATCH with the
+// ParseAlgorithm is the inverse of Algorithm.String: it resolves a name
+// to an Algorithm, case-insensitively. Both the canonical names
+// ("V-PATCH", "Aho-Corasick", ...) and the CLI spellings used by the
+// cmd/ tools ("vpatch", "spatch", "dfc", "vectordfc", "ac", "wumanber",
+// "ffbf", plus common abbreviations) are accepted.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "vpatch", "v-patch":
+		return AlgoVPatch, nil
+	case "spatch", "s-patch":
+		return AlgoSPatch, nil
+	case "dfc":
+		return AlgoDFC, nil
+	case "vectordfc", "vector-dfc", "vdfc":
+		return AlgoVectorDFC, nil
+	case "ac", "ahocorasick", "aho-corasick":
+		return AlgoAhoCorasick, nil
+	case "wumanber", "wu-manber", "wm":
+		return AlgoWuManber, nil
+	case "ffbf":
+		return AlgoFFBF, nil
+	}
+	return 0, fmt.Errorf("vpatch: unknown algorithm %q (want vpatch, spatch, dfc, vectordfc, ac, wumanber or ffbf)", name)
+}
+
+// Options configures Compile. The zero value selects V-PATCH with the
 // paper's defaults (W=8 lanes, 16 KB filter 3, 64 KB chunks).
 type Options struct {
 	// Algorithm selects the engine (default AlgoVPatch).
@@ -130,11 +166,143 @@ type Options struct {
 	MaxAutomatonBytes int
 }
 
-// Matcher scans inputs for all patterns of its compiled set. Matchers are
-// safe for repeated use; a single Matcher must not be used from multiple
-// goroutines concurrently (compile one per worker — compiled sets are
-// cheap relative to scan volume, and the underlying pattern set can be
-// shared).
+// Engine is the compiled, immutable form of a pattern set: all filter
+// and verification state is read-only after Compile, so a single Engine
+// may be shared by any number of goroutines. This is the expensive part
+// of a matcher — for Aho-Corasick on a Snort-sized rule set it is
+// hundreds of megabytes of automaton — and the split between it and the
+// cheap per-goroutine Session is what lets the paper's multi-core
+// deployment compile once and scan everywhere.
+//
+// Engine.Scan is itself safe for concurrent use (it draws scratch from
+// an internal pool); goroutines scanning in a tight loop should hold
+// their own Session instead to skip the pool round-trip.
+type Engine struct {
+	alg Algorithm
+	set *PatternSet
+	eng engine.Engine
+
+	// sessions recycles per-goroutine scratch for the concurrency-safe
+	// Engine.Scan convenience path.
+	sessions sync.Pool
+}
+
+// Compile builds the immutable Engine for a pattern set. The Engine is
+// safe for concurrent use from any number of goroutines.
+func Compile(set *PatternSet, opt Options) (*Engine, error) {
+	if set == nil {
+		return nil, fmt.Errorf("vpatch: nil pattern set")
+	}
+	switch w := opt.VectorWidth; w {
+	case 0, 4, 8, 16:
+	default:
+		return nil, fmt.Errorf("vpatch: unsupported vector width %d (want 4, 8 or 16)", w)
+	}
+	var eng engine.Engine
+	switch opt.Algorithm {
+	case AlgoVPatch:
+		eng = core.NewVPatch(set, core.VOptions{
+			Width:           opt.VectorWidth,
+			ChunkSize:       opt.ChunkSize,
+			Filter3Log2Bits: opt.Filter3Log2Bits,
+		})
+	case AlgoSPatch:
+		eng = core.NewSPatch(set, core.Options{
+			ChunkSize:       opt.ChunkSize,
+			Filter3Log2Bits: opt.Filter3Log2Bits,
+		})
+	case AlgoDFC:
+		eng = dfc.Build(set)
+	case AlgoVectorDFC:
+		eng = dfc.BuildVector(set, opt.VectorWidth)
+	case AlgoAhoCorasick:
+		eng = ahocorasick.Build(set, ahocorasick.Options{
+			MaxMatrixBytes: opt.MaxAutomatonBytes,
+		})
+	case AlgoWuManber:
+		eng = wumanber.Build(set)
+	case AlgoFFBF:
+		eng = ffbf.Build(set, ffbf.Options{})
+	default:
+		return nil, fmt.Errorf("vpatch: unknown algorithm %d", int(opt.Algorithm))
+	}
+	return &Engine{alg: opt.Algorithm, set: set, eng: eng}, nil
+}
+
+// Algorithm returns the engine's algorithm.
+func (e *Engine) Algorithm() Algorithm { return e.alg }
+
+// Set returns the compiled pattern set.
+func (e *Engine) Set() *PatternSet { return e.set }
+
+// NewSession returns fresh per-goroutine scan state bound to this
+// engine. Sessions are cheap (scratch buffers only — the compiled
+// tables stay shared); allocate one per goroutine and reuse it across
+// scans. A Session must not be used from two goroutines at once;
+// distinct Sessions over one Engine are fully independent.
+func (e *Engine) NewSession() *Session {
+	return &Session{eng: e, scratch: e.eng.NewScratch()}
+}
+
+// Scan reports every occurrence of every pattern in input, in
+// nondecreasing start-offset order per pattern class. c and emit may be
+// nil; counters accumulate across calls. Scan is safe to call from any
+// goroutine: scratch comes from an internal pool. Concurrent callers
+// must pass distinct (or nil) Counters — the counter fields themselves
+// are plain integers, not atomics. Hot loops should prefer a
+// per-goroutine Session.
+func (e *Engine) Scan(input []byte, c *Counters, emit EmitFunc) {
+	s, _ := e.sessions.Get().(*Session)
+	if s == nil {
+		s = e.NewSession()
+	}
+	s.Scan(input, c, emit)
+	e.sessions.Put(s)
+}
+
+// FindAll scans input and returns all matches sorted by (offset,
+// pattern ID). Safe for concurrent use like Scan.
+func (e *Engine) FindAll(input []byte) []Match {
+	var out []Match
+	e.Scan(input, nil, func(m Match) { out = append(out, m) })
+	patterns.SortMatches(out)
+	return out
+}
+
+// Session is the mutable per-goroutine half of a matcher: chunk work
+// buffers, vector-lane state and candidate accumulators, referencing the
+// shared immutable Engine. The zero value is not usable; obtain Sessions
+// from Engine.NewSession.
+//
+// A Session is safe for repeated use from one goroutine at a time and
+// implements Matcher.
+type Session struct {
+	eng     *Engine
+	scratch engine.Scratch
+}
+
+// Scan reports every occurrence of every pattern in input, in
+// nondecreasing start-offset order per pattern class. c and emit may be
+// nil; counters accumulate across calls.
+func (s *Session) Scan(input []byte, c *Counters, emit EmitFunc) {
+	s.eng.eng.ScanScratch(s.scratch, input, c, emit)
+}
+
+// Engine returns the shared compiled engine this session scans with.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// Algorithm returns the engine's algorithm.
+func (s *Session) Algorithm() Algorithm { return s.eng.alg }
+
+// Set returns the compiled pattern set.
+func (s *Session) Set() *PatternSet { return s.eng.set }
+
+// Matcher is the original single-goroutine scanning surface, kept so
+// code written against the seed API still compiles. Both *Engine and
+// *Session implement it.
+//
+// Deprecated: use Compile to obtain an *Engine (goroutine-safe) and
+// Engine.NewSession for per-goroutine scanning.
 type Matcher interface {
 	// Scan reports every occurrence of every pattern in input, in
 	// nondecreasing start-offset order per pattern class. c and emit may
@@ -146,71 +314,34 @@ type Matcher interface {
 	Set() *PatternSet
 }
 
-// New compiles a pattern set into a Matcher.
+var (
+	_ Matcher = (*Engine)(nil)
+	_ Matcher = (*Session)(nil)
+)
+
+// New compiles a pattern set into a Matcher: a thin adapter returning
+// Compile(set, opt).NewSession().
+//
+// Deprecated: use Compile. The returned Matcher is a single *Session —
+// like the seed's matchers it must not be shared across goroutines,
+// whereas the *Engine behind Compile may be.
 func New(set *PatternSet, opt Options) (Matcher, error) {
-	if set == nil {
-		return nil, fmt.Errorf("vpatch: nil pattern set")
-	}
-	switch w := opt.VectorWidth; w {
-	case 0, 4, 8, 16:
-	default:
-		return nil, fmt.Errorf("vpatch: unsupported vector width %d (want 4, 8 or 16)", w)
-	}
-	switch opt.Algorithm {
-	case AlgoVPatch:
-		return &wrap{alg: opt.Algorithm, set: set, scanner: core.NewVPatch(set, core.VOptions{
-			Width:           opt.VectorWidth,
-			ChunkSize:       opt.ChunkSize,
-			Filter3Log2Bits: opt.Filter3Log2Bits,
-		})}, nil
-	case AlgoSPatch:
-		return &wrap{alg: opt.Algorithm, set: set, scanner: core.NewSPatch(set, core.Options{
-			ChunkSize:       opt.ChunkSize,
-			Filter3Log2Bits: opt.Filter3Log2Bits,
-		})}, nil
-	case AlgoDFC:
-		return &wrap{alg: opt.Algorithm, set: set, scanner: dfc.Build(set)}, nil
-	case AlgoVectorDFC:
-		return &wrap{alg: opt.Algorithm, set: set, scanner: dfc.BuildVector(set, opt.VectorWidth)}, nil
-	case AlgoAhoCorasick:
-		return &wrap{alg: opt.Algorithm, set: set, scanner: ahocorasick.Build(set, ahocorasick.Options{
-			MaxMatrixBytes: opt.MaxAutomatonBytes,
-		})}, nil
-	case AlgoWuManber:
-		return &wrap{alg: opt.Algorithm, set: set, scanner: wumanber.Build(set)}, nil
-	case AlgoFFBF:
-		return &wrap{alg: opt.Algorithm, set: set, scanner: ffbf.Build(set, ffbf.Options{})}, nil
-	}
-	return nil, fmt.Errorf("vpatch: unknown algorithm %d", int(opt.Algorithm))
-}
-
-// scanner is the common surface of every internal engine.
-type scanner interface {
-	Scan(input []byte, c *metrics.Counters, emit patterns.EmitFunc)
-}
-
-type wrap struct {
-	alg     Algorithm
-	set     *PatternSet
-	scanner scanner
-}
-
-func (w *wrap) Scan(input []byte, c *Counters, emit EmitFunc) { w.scanner.Scan(input, c, emit) }
-func (w *wrap) Algorithm() Algorithm                          { return w.alg }
-func (w *wrap) Set() *PatternSet                              { return w.set }
-
-// FindAll is a convenience helper: compile-and-scan in one call,
-// returning all matches sorted by (offset, pattern ID). For repeated
-// scans, compile once with New instead.
-func FindAll(set *PatternSet, input []byte, opt Options) ([]Match, error) {
-	m, err := New(set, opt)
+	e, err := Compile(set, opt)
 	if err != nil {
 		return nil, err
 	}
-	var out []Match
-	m.Scan(input, nil, func(mm Match) { out = append(out, mm) })
-	patterns.SortMatches(out)
-	return out, nil
+	return e.NewSession(), nil
+}
+
+// FindAll is a convenience helper: compile-and-scan in one call,
+// returning all matches sorted by (offset, pattern ID). For repeated
+// scans, compile once with Compile instead.
+func FindAll(set *PatternSet, input []byte, opt Options) ([]Match, error) {
+	e, err := Compile(set, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.FindAll(input), nil
 }
 
 // Count scans input and returns only the number of matches. It scans
