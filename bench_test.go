@@ -258,6 +258,49 @@ func BenchmarkStreamScanner(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchSmallPackets: the small-packet workload (the batch scan
+// path's target): per-packet Session.Scan vs one ScanBatch call per 32
+// packets, at the sizes real NIDS traffic is dominated by. The
+// cmd/vpatch-bench -sizes sweep adds lane-occupancy measurements.
+func BenchmarkBatchSmallPackets(b *testing.B) {
+	f := benchFixtures()
+	eng, err := Compile(f.s1web, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{64, 256, 1514} {
+		pkts := traffic.FixedPackets(traffic.ISCXDay2, size, benchBytes/size, 1, f.s1web)
+		total := int64(0)
+		for _, p := range pkts {
+			total += int64(len(p))
+		}
+		b.Run("serial/"+itoa(size), func(b *testing.B) {
+			s := eng.NewSession()
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pkts {
+					s.Scan(p, nil, nil)
+				}
+			}
+		})
+		b.Run("batch/"+itoa(size), func(b *testing.B) {
+			s := eng.NewSession()
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for lo := 0; lo < len(pkts); lo += 32 {
+					hi := lo + 32
+					if hi > len(pkts) {
+						hi = len(pkts)
+					}
+					s.ScanBatch(pkts[lo:hi], nil, nil)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWuManber: the related-work baseline on the same workload.
 func BenchmarkWuManber(b *testing.B) {
 	f := benchFixtures()

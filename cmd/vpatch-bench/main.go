@@ -5,18 +5,27 @@
 //	vpatch-bench -fig 4a            # one figure
 //	vpatch-bench -all               # every figure
 //	vpatch-bench -fig 4a -size 64   # 64 MB of traffic per dataset
+//	vpatch-bench -sizes 64,256,1514,imix -batch 32
+//	                                # packet-size sweep: serial vs batch
 //
 // Figures: 4a 4b 5a 5b 5c 6a 6b 6c 7a 7b. Output is the same rows/series
 // the paper plots: wall-clock Gbps of this Go implementation plus
 // cost-model Gbps on the figure's platform (Haswell for Fig 4-6, Xeon-Phi
 // for Fig 7); speedups are model-based. See EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// The -sizes mode runs the batch-scanning sweep instead of a figure:
+// packets of each given size (or the IMIX mix) scanned one Scan call
+// per packet versus one lane-per-packet ScanBatch call per -batch
+// packets, reporting wall-clock throughput, the serial scan's vector
+// coverage, and the batched scan's lane occupancy per size.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"vpatch/internal/costmodel"
@@ -31,12 +40,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	repeats := flag.Int("repeats", 3, "wall-clock timing repeats")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	sizesFlag := flag.String("sizes", "", "comma-separated packet sizes in bytes (or 'imix'): run the serial-vs-batch packet sweep instead of figures")
+	batchN := flag.Int("batch", 32, "buffers per ScanBatch call in the packet sweep")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		TrafficBytes: *sizeMB << 20,
 		Seed:         *seed,
 		Repeats:      *repeats,
+	}
+
+	if *sizesFlag != "" {
+		runBatchSweep(cfg, *sizesFlag, *batchN, *csvDir)
+		return
 	}
 
 	var figs []string
@@ -114,6 +130,33 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runBatchSweep parses the -sizes list and runs the packet-size sweep
+// on the Snort-sized web rule set (the Fig. 4a configuration).
+func runBatchSweep(cfg experiments.Config, sizesFlag string, batch int, csvDir string) {
+	var sizes []int
+	for _, tok := range strings.Split(sizesFlag, ",") {
+		tok = strings.TrimSpace(tok)
+		if strings.EqualFold(tok, "imix") {
+			sizes = append(sizes, 0)
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad packet size %q (want bytes or 'imix')\n", tok)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+	fmt.Println("generating rule set (seeded, statistics of Snort v2.9.7)...")
+	set := patterns.GenerateS1(cfg.Seed).WebSubset()
+	fmt.Println("  " + patterns.DescribeSet("S1-web", set))
+	fmt.Println()
+	rows := experiments.BatchSweep(cfg, set, sizes, batch, 8)
+	experiments.PrintBatchSweep(os.Stdout,
+		fmt.Sprintf("Batch sweep: V-PATCH serial vs lane-per-packet batch (W=8, batch=%d), ISCX-day2 traffic", batch), rows)
+	writeCSV(csvDir, func() error { return experiments.WriteBatchSweepCSV(csvDir, "batchsweep.csv", rows) })
 }
 
 // writeCSV runs the export when a CSV directory was requested.

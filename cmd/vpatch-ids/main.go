@@ -79,6 +79,7 @@ func main() {
 		bytes += len(s.Payload)
 		engine.HandleSegment(s)
 	}
+	engine.Flush() // drain partial per-group batches
 	elapsed := time.Since(start)
 
 	fmt.Printf("capture: %d segments, %d flows, %d payload bytes\n",

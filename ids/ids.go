@@ -13,6 +13,14 @@
 // shard shares the compiled groups (the expensive state) and owns only
 // its flow table, reassembler and scan sessions, so adding a worker
 // costs scratch buffers, not a recompilation of the rule set.
+//
+// Scanning is batched: reassembled payloads accumulate per protocol
+// group and flush through vpatch.Session.ScanBatch once a group reaches
+// a buffer-count or byte watermark, so V-PATCH's lane-per-packet
+// filtering sees whole batches of (mostly small) payloads instead of
+// one Scan call each. Alerts therefore surface at flush time; call
+// Flush after the last segment (or on a latency deadline) to drain
+// partial batches.
 package ids
 
 import (
@@ -53,25 +61,80 @@ type group struct {
 	origID []int32 // subset pattern ID -> original set pattern ID
 }
 
+// Flush watermarks: a group's pending batch is scanned once it holds
+// DefaultBatchBufs buffers or DefaultBatchBytes bytes, whichever comes
+// first. Shard.SetWatermarks overrides per shard.
+const (
+	DefaultBatchBufs  = 32
+	DefaultBatchBytes = 256 << 10
+)
+
 // Shard is one worker's view of the pipeline: it shares the Engine's
 // compiled rule groups and owns everything mutable — the reassembler,
-// the flow table, and one scan session per group. Flows must be
-// partitioned across shards by the caller (hash the FlowKey); a Shard
-// is single-goroutine, distinct Shards are fully independent.
+// the flow table, per-group pending batches, and one scan session per
+// group. Flows must be partitioned across shards by the caller (hash
+// the FlowKey); a Shard is single-goroutine, distinct Shards are fully
+// independent.
 type Shard struct {
 	parent *Engine
 	emit   func(Alert)
 
 	reasm *netsim.Reassembler
-	flows map[netsim.FlowKey]*flowScanner
+	flows map[netsim.FlowKey]*flowState
 	// sessions holds this shard's per-group scan state: one session per
 	// compiled group, shared by all of the shard's flows (a shard is one
 	// goroutine, so flows never scan concurrently).
 	sessions map[*group]*vpatch.Session
+	// pending accumulates scan jobs per group until a watermark flushes
+	// them through ScanBatch.
+	pending       map[*group]*groupBatch
+	maxBatchBufs  int
+	maxBatchBytes int
 }
 
-type flowScanner struct {
-	scanner *vpatch.StreamScanner
+// flowState is the per-flow stream bookkeeping the batched pipeline
+// keeps between payload arrivals: the carry (last maxPatternLen-1
+// stream bytes, so matches spanning payload boundaries are found) and
+// the absolute stream offset. It advances at enqueue time — not at scan
+// time — so several payloads of one flow can sit in the same batch and
+// still chain correctly.
+type flowState struct {
+	key      netsim.FlowKey
+	g        *group
+	maxLen   int
+	carry    []byte
+	consumed int64 // stream bytes absorbed (end of carry)
+}
+
+// groupBatch is one protocol group's pending scan jobs: the buffers
+// (each carry+payload, copied so reassembler memory can be reused) and
+// per-buffer metadata to translate matches back into stream alerts.
+// Flushed buffers park on free and are recycled by the next payloads,
+// so steady-state batching allocates nothing.
+type groupBatch struct {
+	bufs  [][]byte
+	meta  []batchEntry
+	bytes int
+	free  [][]byte
+}
+
+// takeBuf returns an empty buffer for a job of about n bytes,
+// recycling a flushed one when available. An undersized recycled buffer
+// is still returned — the caller's appends grow it and the grown buffer
+// re-enters the pool, so the pool converges to right-sized buffers.
+func (pb *groupBatch) takeBuf(n int) []byte {
+	if k := len(pb.free); k > 0 {
+		buf := pb.free[k-1]
+		pb.free = pb.free[:k-1]
+		return buf[:0]
+	}
+	return make([]byte, 0, n)
+}
+
+type batchEntry struct {
+	fs       *flowState
+	carryLen int   // prefix already scanned by an earlier batch
+	base     int64 // stream offset of the buffer's first byte
 }
 
 // protocols that get a dedicated group; anything else uses the generic
@@ -147,13 +210,30 @@ func (e *Engine) NewShard(emit func(Alert)) *Shard {
 		panic("ids: nil alert sink")
 	}
 	s := &Shard{
-		parent:   e,
-		emit:     emit,
-		flows:    make(map[netsim.FlowKey]*flowScanner),
-		sessions: make(map[*group]*vpatch.Session, len(e.groups)),
+		parent:        e,
+		emit:          emit,
+		flows:         make(map[netsim.FlowKey]*flowState),
+		sessions:      make(map[*group]*vpatch.Session, len(e.groups)),
+		pending:       make(map[*group]*groupBatch, len(e.groups)),
+		maxBatchBufs:  DefaultBatchBufs,
+		maxBatchBytes: DefaultBatchBytes,
 	}
 	s.reasm = netsim.NewReassembler(s.onPayload)
 	return s
+}
+
+// SetWatermarks overrides the shard's flush watermarks: a group's
+// pending batch is scanned once it holds maxBufs buffers or maxBytes
+// bytes. Lower values trade batching efficiency for alert latency;
+// maxBufs = 1 restores scan-per-payload behavior. Values <= 0 keep the
+// current setting.
+func (s *Shard) SetWatermarks(maxBufs, maxBytes int) {
+	if maxBufs > 0 {
+		s.maxBatchBufs = maxBufs
+	}
+	if maxBytes > 0 {
+		s.maxBatchBytes = maxBytes
+	}
 }
 
 // GroupSizes reports the number of patterns compiled per protocol group.
@@ -194,6 +274,13 @@ func (e *Engine) groupFor(k netsim.FlowKey) *group {
 // its flow partition.
 func (e *Engine) HandleSegment(seg netsim.Segment) { e.def.HandleSegment(seg) }
 
+// Flush drains the default shard's pending batches (see Shard.Flush).
+func (e *Engine) Flush() { e.def.Flush() }
+
+// SetWatermarks tunes the default shard's flush watermarks (see
+// Shard.SetWatermarks).
+func (e *Engine) SetWatermarks(maxBufs, maxBytes int) { e.def.SetWatermarks(maxBufs, maxBytes) }
+
 // Flows returns the number of flows tracked by the default shard.
 func (e *Engine) Flows() int { return e.def.Flows() }
 
@@ -215,32 +302,99 @@ func (s *Shard) session(g *group) *vpatch.Session {
 	return sess
 }
 
-// onPayload receives contiguous stream bytes from the reassembler.
+// onPayload receives contiguous stream bytes from the reassembler and
+// enqueues one scan job (carry + new bytes) on the flow's group batch,
+// flushing the group once a watermark is reached.
 func (s *Shard) onPayload(k netsim.FlowKey, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
 	fs := s.flows[k]
 	if fs == nil {
 		g := s.parent.groupFor(k)
 		if g == nil {
 			return // no rules apply to this service at all
 		}
-		flow := k
-		sc, err := vpatch.NewStreamScanner(s.session(g), func(m vpatch.Match) {
-			s.emit(Alert{
-				Flow:         flow,
-				StreamOffset: int64(m.Pos),
-				PatternID:    g.origID[m.PatternID],
-			})
-		})
-		if err != nil {
-			// Construction only fails on nil arguments; unreachable here.
-			panic(err)
+		maxLen := g.eng.Set().MaxLen()
+		if maxLen < 1 {
+			maxLen = 1
 		}
-		fs = &flowScanner{scanner: sc}
+		fs = &flowState{key: k, g: g, maxLen: maxLen}
 		s.flows[k] = fs
 	}
-	if _, err := fs.scanner.Write(payload); err != nil {
-		panic(err) // StreamScanner.Write never errors
+
+	// The scan job: carry + payload, copied into batch-owned memory (the
+	// reassembler may reuse payload before the batch flushes).
+	pb := s.pending[fs.g]
+	if pb == nil {
+		pb = &groupBatch{}
+		s.pending[fs.g] = pb
 	}
+	buf := pb.takeBuf(len(fs.carry) + len(payload))
+	buf = append(buf, fs.carry...)
+	buf = append(buf, payload...)
+	carryLen := len(fs.carry)
+	base := fs.consumed - int64(carryLen)
+
+	// Advance the stream state now, so a later payload of this flow —
+	// possibly enqueued in the same batch — chains on the right carry.
+	fs.consumed += int64(len(payload))
+	keep := fs.maxLen - 1
+	if keep > len(buf) {
+		keep = len(buf)
+	}
+	fs.carry = append(fs.carry[:0], buf[len(buf)-keep:]...)
+
+	pb.bufs = append(pb.bufs, buf)
+	pb.meta = append(pb.meta, batchEntry{fs: fs, carryLen: carryLen, base: base})
+	pb.bytes += len(buf)
+	if len(pb.bufs) >= s.maxBatchBufs || pb.bytes >= s.maxBatchBytes {
+		s.flushGroup(fs.g, pb)
+	}
+}
+
+// flushGroup scans one group's pending batch and emits its alerts.
+func (s *Shard) flushGroup(g *group, pb *groupBatch) {
+	if len(pb.bufs) == 0 {
+		return
+	}
+	set := g.eng.Set()
+	s.session(g).ScanBatch(pb.bufs, nil, func(buf int, m vpatch.Match) {
+		ent := &pb.meta[buf]
+		// Matches ending inside the carry prefix were reported by the
+		// batch that scanned those stream bytes first.
+		if int(m.Pos)+set.Pattern(m.PatternID).Len() <= ent.carryLen {
+			return
+		}
+		s.emit(Alert{
+			Flow:         ent.fs.key,
+			StreamOffset: ent.base + int64(m.Pos),
+			PatternID:    g.origID[m.PatternID],
+		})
+	})
+	pb.free = append(pb.free, pb.bufs...)
+	pb.bufs = pb.bufs[:0]
+	pb.meta = pb.meta[:0]
+	pb.bytes = 0
+}
+
+// Flush scans every pending batch immediately. Call it after the last
+// segment of a capture, or on a latency deadline in live deployments
+// (alerts otherwise wait for a watermark).
+func (s *Shard) Flush() {
+	for g, pb := range s.pending {
+		s.flushGroup(g, pb)
+	}
+}
+
+// PendingScanBufs reports enqueued-but-unscanned payload buffers
+// (diagnostic).
+func (s *Shard) PendingScanBufs() int {
+	n := 0
+	for _, pb := range s.pending {
+		n += len(pb.bufs)
+	}
+	return n
 }
 
 // Flows returns the number of flows tracked by this shard.

@@ -35,6 +35,7 @@ func collect(t *testing.T, set *vpatch.PatternSet, segs []netsim.Segment) []Aler
 	for _, s := range segs {
 		e.HandleSegment(s)
 	}
+	e.Flush()
 	return alerts
 }
 
@@ -232,6 +233,7 @@ func TestShardsSharePipeline(t *testing.T) {
 					shards[i].HandleSegment(s)
 				}
 			}
+			shards[i].Flush()
 		}(i)
 	}
 	wg.Wait()
@@ -243,6 +245,86 @@ func TestShardsSharePipeline(t *testing.T) {
 		t.Fatalf("flow partition lost flows: %d + %d, want %d",
 			shards[0].Flows(), shards[1].Flows(), len(flows))
 	}
+}
+
+// TestBatchWatermarksAndFlush: alerts surface when a group batch hits
+// the buffer-count watermark (no explicit Flush needed), partial
+// batches wait for Flush, and the batched pipeline reports exactly the
+// alerts a scan-per-payload configuration (watermark 1) reports.
+func TestBatchWatermarksAndFlush(t *testing.T) {
+	set := mixedRuleSet()
+	flows := map[netsim.FlowKey][]byte{
+		key(1, 80): traffic.Synthesize(traffic.ISCXDay2, 8<<10, 1, nil),
+		key(2, 80): traffic.Synthesize(traffic.ISCXDay6, 8<<10, 2, nil),
+	}
+	for k := range flows {
+		flows[k] = append(flows[k], "http-attack-xyz and generic-bad-001"...)
+	}
+	segs := netsim.Packetize(flows, netsim.PacketizeOptions{MTU: 256, Jitter: 3, Seed: 8})
+
+	run := func(maxBufs, maxBytes int, explicitFlush bool) []Alert {
+		var alerts []Alert
+		e, err := NewEngine(set, vpatch.Options{}, func(a Alert) { alerts = append(alerts, a) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetWatermarks(maxBufs, maxBytes)
+		for _, s := range segs {
+			e.HandleSegment(s)
+		}
+		if explicitFlush {
+			e.Flush()
+			if n := e.def.PendingScanBufs(); n != 0 {
+				t.Fatalf("%d buffers still pending after Flush", n)
+			}
+		}
+		return alerts
+	}
+
+	// Watermark 1 = scan-per-payload; nothing pends, Flush is a no-op.
+	want := run(1, 1<<30, true)
+	if len(want) == 0 {
+		t.Fatal("test needs alerts")
+	}
+	got := run(16, 1<<30, true)
+	sortAlerts(want)
+	sortAlerts(got)
+	if len(got) != len(want) {
+		t.Fatalf("batched pipeline: %d alerts, scan-per-payload %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alert %d: batched %+v, scan-per-payload %+v", i, got[i], want[i])
+		}
+	}
+	// Without Flush, the buffer-count watermark alone must still have
+	// scanned most of the stream (only sub-watermark leftovers pend).
+	partial := run(4, 1<<30, false)
+	if len(partial) == 0 {
+		t.Fatal("watermark never triggered a flush")
+	}
+	// Byte watermark alone must also trigger.
+	byBytes := run(1<<30, 2048, false)
+	if len(byBytes) == 0 {
+		t.Fatal("byte watermark never triggered a flush")
+	}
+}
+
+// sortAlerts orders alerts by (flow, offset, pattern) for comparison.
+func sortAlerts(as []Alert) {
+	sort.Slice(as, func(i, j int) bool {
+		a, b := as[i], as[j]
+		if a.Flow != b.Flow {
+			if a.Flow.SrcIP != b.Flow.SrcIP {
+				return a.Flow.SrcIP < b.Flow.SrcIP
+			}
+			return a.Flow.SrcPort < b.Flow.SrcPort
+		}
+		if a.StreamOffset != b.StreamOffset {
+			return a.StreamOffset < b.StreamOffset
+		}
+		return a.PatternID < b.PatternID
+	})
 }
 
 func TestAllAlgorithmsThroughPipeline(t *testing.T) {
@@ -263,6 +345,7 @@ func TestAllAlgorithmsThroughPipeline(t *testing.T) {
 		for _, s := range segs {
 			e.HandleSegment(s)
 		}
+		e.Flush()
 		if len(alerts) != 2 {
 			t.Fatalf("%v: %d alerts, want 2", alg, len(alerts))
 		}

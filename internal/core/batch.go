@@ -1,0 +1,290 @@
+package core
+
+import (
+	"vpatch/internal/bitarr"
+	"vpatch/internal/engine"
+	"vpatch/internal/metrics"
+	"vpatch/internal/patterns"
+	"vpatch/internal/vec"
+)
+
+// Batch scanning: V-PATCH's native many-buffers-per-call path.
+//
+// The serial filtering round assigns the W lanes of a register to W
+// *consecutive positions of one buffer*, so on a small input (a single
+// network packet) most of the scan is sub-register tail and per-call
+// setup — the weakness the paper's own small-input discussion (Fig. 5b,
+// §V) exposes. Batch mode inverts the assignment: each lane walks a
+// *different* buffer of the batch, one position per step, so
+//
+//   - one merged filter gather serves W different packets,
+//   - a lane whose packet drains refills from the pending queue instead
+//     of idling, keeping lane occupancy near 100% regardless of packet
+//     size (measured by Counters.BatchLaneFrac), and
+//   - candidate stores carry (buffer, position) pairs, flushed through
+//     the shared verification round at a cache-sized watermark.
+//
+// Like the serial scan, instrumented runs execute the explicit vector
+// engine (per-op emulated registers, exact gather/lane statistics);
+// timing runs (nil counters, paper configuration) use a fused rendition
+// of the same computation whose per-buffer match output is identical
+// (tested), keeping the structural wins that survive without SIMD
+// hardware: one call for the whole batch, half the filter lookups
+// (merging), and verification flushes amortized across buffers.
+
+var _ engine.BatchEngine = (*VPatch)(nil)
+
+// ScanBatchScratch scans every buffer of inputs using scr as working
+// memory, reporting each match with its buffer index (engine.BatchEngine).
+// Per-buffer match semantics are identical to ScanScratch on that buffer
+// alone. Calls with distinct scratches may run concurrently.
+func (m *VPatch) ScanBatchScratch(scr engine.Scratch, inputs [][]byte, c *metrics.Counters, emit engine.BatchEmitFunc) {
+	m.scanBatch(scr.(*Scratch), inputs, c, emit)
+}
+
+// ScanBatch scans a batch with the matcher's built-in scratch
+// (single-goroutine; use ScanBatchScratch for concurrent scans).
+func (m *VPatch) ScanBatch(inputs [][]byte, c *metrics.Counters, emit engine.BatchEmitFunc) {
+	m.scanBatch(m.builtinScratch(), inputs, c, emit)
+}
+
+func (m *VPatch) scanBatch(scr *Scratch, inputs [][]byte, c *metrics.Counters, emit engine.BatchEmitFunc) {
+	scr.bShort = scr.bShort[:0]
+	scr.bLong = scr.bLong[:0]
+	if c != nil {
+		for _, in := range inputs {
+			c.BytesScanned += uint64(len(in))
+		}
+	}
+	if c == nil && !m.opt.ForceEngine && !m.opt.NoFilterMerge && !m.opt.BranchyFilter3 {
+		m.fusedScanBatch(scr, inputs, emit)
+		return
+	}
+	m.laneScanBatch(scr, inputs, c, emit)
+}
+
+// laneScanBatch is the explicit lane-per-packet filtering round on the
+// emulated vector engine. Buffers with fewer than 4 bytes never enter a
+// lane (no full 4-byte window exists); they run entirely through the
+// scalar chain at refill time, exactly like the serial scalar tail.
+func (m *VPatch) laneScanBatch(scr *Scratch, inputs [][]byte, c *metrics.Counters, emit engine.BatchEmitFunc) {
+	eng := m.eng
+	w := eng.Width()
+	var cur vec.Cursors
+	var lim [vec.MaxLanes]int32 // last vector-walkable position per lane
+	var active vec.Mask
+	next := 0
+
+	var sw metrics.Stopwatch
+	if c != nil {
+		sw = metrics.Start() // before the first refill: it already filters
+	}
+	// flush runs the verification round once a candidate array reaches
+	// the cache-residency watermark.
+	flush := func() {
+		if len(scr.bShort) < batchFlushCandidates && len(scr.bLong) < batchFlushCandidates {
+			return
+		}
+		if c != nil {
+			c.FilteringNs += sw.Stop()
+		}
+		m.verifyBatch(scr, inputs, c, emit)
+		if c != nil {
+			sw = metrics.Start()
+		}
+	}
+	// refill hands lane l the next pending buffer, draining any buffer
+	// too short for vector stepping through the scalar chain on the way
+	// (flushing per drained buffer — a run of tiny buffers must not grow
+	// the candidate arrays past the watermark).
+	refill := func(l int) {
+		for next < len(inputs) {
+			b := next
+			next++
+			n := len(inputs[b])
+			if n >= 4 {
+				cur.Buf[l] = int32(b)
+				cur.Pos[l] = 0
+				lim[l] = int32(n - 4)
+				active |= 1 << l
+				return
+			}
+			for i := 0; i < n; i++ {
+				m.scalarFilterPosBatch(scr, inputs[b], int32(b), i, n, c)
+			}
+			flush()
+		}
+		active &^= 1 << l
+	}
+	for l := 0; l < w; l++ {
+		refill(l)
+	}
+	for active.Any() {
+		m.batchFilterStep(scr, inputs, &cur, active, c)
+		eng.Advance(&cur, active)
+		// Drain lanes whose buffer ran out of vector positions: finish
+		// the buffer's sub-register tail scalar, then refill the lane.
+		for l := 0; l < w; l++ {
+			if !active.Test(l) || cur.Pos[l] <= lim[l] {
+				continue
+			}
+			b := cur.Buf[l]
+			n := len(inputs[b])
+			for i := int(cur.Pos[l]); i < n; i++ {
+				m.scalarFilterPosBatch(scr, inputs[b], b, i, n, c)
+			}
+			refill(l)
+		}
+		flush()
+	}
+	if c != nil {
+		c.FilteringNs += sw.Stop()
+	}
+	m.verifyBatch(scr, inputs, c, emit)
+}
+
+// batchFilterStep runs one lane-per-packet filtering step over the
+// active lanes: the Algorithm 2 body with the W consecutive windows of
+// one buffer replaced by one window from each of W buffers.
+func (m *VPatch) batchFilterStep(scr *Scratch, inputs [][]byte, cur *vec.Cursors, active vec.Mask, c *metrics.Counters) {
+	eng := m.eng
+	fs := m.fs
+
+	if c != nil {
+		c.BatchIters++
+		c.BatchActiveLanes += uint64(active.Count())
+		c.Filter1Probes += uint64(active.Count())
+		c.Filter2Probes += uint64(active.Count())
+	}
+
+	// One cross-buffer gather builds the W 2-byte windows.
+	idx := eng.GatherWindows2(inputs, cur, active)
+	byteIdx := eng.ShiftRightConst(idx, 3)
+	bit := eng.AndConst(idx, 7)
+
+	// Merged filter-1/filter-2 fetch, exactly as in the serial round.
+	var hit1, hit2 vec.Mask
+	if !m.opt.NoFilterMerge {
+		words := eng.GatherU16(fs.Merged.Words(), byteIdx)
+		hit1 = eng.TestBit(words, bit) & active
+		hit2 = eng.TestBit(words, eng.AddConst(bit, 8)) & active
+		if c != nil {
+			c.Gathers++
+			c.MergedGathers++
+		}
+	} else {
+		w1 := eng.GatherU8(fs.Filter1.Bytes(), byteIdx)
+		w2 := eng.GatherU8(fs.Filter2.Bytes(), byteIdx)
+		hit1 = eng.TestBit(w1, bit) & active
+		hit2 = eng.TestBit(w2, bit) & active
+		if c != nil {
+			c.Gathers += 2
+		}
+	}
+
+	if hit1.Any() {
+		scr.bShort = eng.CompressStoreCursors(scr.bShort, cur, hit1)
+	}
+
+	// Speculative filter 3 over the active lanes, masked by filter-2
+	// hits (the serial design's choice, unchanged).
+	if !hit2.Any() {
+		return
+	}
+	if c != nil {
+		c.Filter3Blocks++
+		c.Filter3UsefulLanes += uint64(hit2.Count())
+	}
+	var hit3 vec.Mask
+	if m.opt.BranchyFilter3 {
+		hit2.ForEach(func(lane int) {
+			if c != nil {
+				c.Filter3Probes++
+			}
+			b := inputs[cur.Buf[lane]]
+			if fs.Filter3.Test4(bitarr.Load4(b[cur.Pos[lane]:])) {
+				hit3 |= 1 << lane
+			}
+		})
+	} else {
+		vals := eng.GatherWindows4(inputs, cur, active)
+		keys := eng.ShiftRightConst(eng.MulConst(vals, bitarr.MulHashConst), fs.Filter3.Shift())
+		f3words := eng.GatherU8(fs.Filter3.Bytes(), eng.ShiftRightConst(keys, 3))
+		hit3 = eng.TestBit(f3words, eng.AndConst(keys, 7)) & hit2
+		if c != nil {
+			c.Gathers++
+			c.Filter3Probes += uint64(active.Count())
+		}
+	}
+	if hit3.Any() {
+		scr.bLong = eng.CompressStoreCursors(scr.bLong, cur, hit3)
+	}
+}
+
+// fusedScanBatch is the timing-run rendition of the batch scan: the
+// fused filter chain run buffer by buffer, with the filter tables
+// resolved once for the whole batch and one emit adapter for all
+// buffers, so per-buffer match output is identical to the lane path
+// (tested) and the batch call is serial-scan work minus the per-packet
+// call and setup overhead that dominates small-packet scanning.
+// Candidates stay in the serial int32 arrays and verify per chunk,
+// exactly like a serial scan.
+//
+// The inner loop restates fusedFilterRange's store path with the
+// table pointers hoisted out of the per-buffer loop and the no-store
+// branch dropped — for sub-chunk buffers (one chunk per packet) those
+// per-call costs are the margin batch mode exists to save. Keep the two
+// loops in lockstep; TestScanBatchMatchesSerial and
+// TestVPatchBatchVariantsAgree fail on any divergence.
+func (m *VPatch) fusedScanBatch(scr *Scratch, inputs [][]byte, emit engine.BatchEmitFunc) {
+	words := m.fs.Merged.Words()
+	f3 := m.fs.Filter3.Bytes()
+	shift := m.fs.Filter3.Shift()
+
+	buf := 0
+	var wrap patterns.EmitFunc
+	if emit != nil {
+		wrap = func(mm patterns.Match) { emit(buf, mm) }
+	}
+	for b, input := range inputs {
+		buf = b
+		n := len(input)
+		// Buffers larger than one chunk keep the serial two-round chunk
+		// granularity; a small packet is one chunk.
+		for start := 0; start < n; start += m.chunk {
+			end := start + m.chunk
+			if end > n {
+				end = n
+			}
+			scr.aShort = scr.aShort[:0]
+			scr.aLong = scr.aLong[:0]
+			mainEnd := end
+			if n-3 < mainEnd {
+				mainEnd = n - 3 // positions with a full 4-byte window
+			}
+			i := start
+			for ; i < mainEnd; i++ {
+				idx := uint32(input[i]) | uint32(input[i+1])<<8
+				wd := words[idx>>3]
+				bit := idx & 7
+				if wd&(1<<bit) != 0 {
+					scr.aShort = append(scr.aShort, int32(i))
+				}
+				if wd&(1<<(bit+8)) != 0 {
+					v := uint32(input[i]) | uint32(input[i+1])<<8 |
+						uint32(input[i+2])<<16 | uint32(input[i+3])<<24
+					key := (v * bitarr.MulHashConst) >> shift
+					if f3[key>>3]&(1<<(key&7)) != 0 {
+						scr.aLong = append(scr.aLong, int32(i))
+					}
+				}
+			}
+			// Sub-register tail (and buffers shorter than 4 bytes
+			// entirely).
+			for ; i < end; i++ {
+				m.scalarFilterPos(scr, input, i, n, nil)
+			}
+			m.verifyCandidates(scr, input, nil, wrap)
+		}
+	}
+}

@@ -217,7 +217,8 @@ func (m *VPatch) filterChunk(scr *Scratch, input []byte, start, end int, c *metr
 // produces bit-identical candidate arrays (see TestCandidateArraysIdentical)
 // and carries V-PATCH's two structural advantages over S-PATCH that
 // survive without SIMD hardware: half the filter lookups (merging) and a
-// branch-light inner loop.
+// branch-light inner loop. fusedScanBatch (batch.go) restates this
+// chain with batch-hoisted table pointers — keep the two in lockstep.
 func (m *VPatch) fusedFilterRange(scr *Scratch, input []byte, start, end int, stores bool) {
 	words := m.fs.Merged.Words()
 	f3 := m.fs.Filter3.Bytes()

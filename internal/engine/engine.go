@@ -36,3 +36,45 @@ type Engine interface {
 	// may run concurrently; c and emit may be nil.
 	ScanScratch(scr Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc)
 }
+
+// BatchEmitFunc receives matches found by a batch scan: buf is the
+// index within the batch of the buffer the match occurred in, and the
+// match's Pos is relative to that buffer. nil means count-only.
+type BatchEmitFunc func(buf int, m patterns.Match)
+
+// BatchEngine is implemented by engines with a native
+// many-buffers-per-call scan path — for V-PATCH, lane-per-packet
+// filtering, where each vector lane walks a different buffer of the
+// batch so one gather serves W buffers and small inputs no longer leave
+// lanes empty. Engines without a native path are driven through the
+// ScanBatch fallback instead.
+type BatchEngine interface {
+	Engine
+	// ScanBatchScratch scans every buffer of inputs using scr as working
+	// memory, reporting each match with its buffer index. Per-buffer
+	// match semantics are identical to ScanScratch on that buffer alone.
+	// Calls with distinct scratches may run concurrently; c and emit may
+	// be nil.
+	ScanBatchScratch(scr Scratch, inputs [][]byte, c *metrics.Counters, emit BatchEmitFunc)
+}
+
+// ScanBatch scans every buffer of inputs through e: engines
+// implementing BatchEngine take their native batch path, all others a
+// serial per-buffer fallback loop with identical per-buffer semantics.
+// This is the one entry point upper layers use, so every algorithm is
+// batch-callable regardless of whether batching helps it.
+func ScanBatch(e Engine, scr Scratch, inputs [][]byte, c *metrics.Counters, emit BatchEmitFunc) {
+	if be, ok := e.(BatchEngine); ok {
+		be.ScanBatchScratch(scr, inputs, c, emit)
+		return
+	}
+	cur := 0
+	var wrap patterns.EmitFunc
+	if emit != nil {
+		wrap = func(m patterns.Match) { emit(cur, m) }
+	}
+	for i, input := range inputs {
+		cur = i
+		e.ScanScratch(scr, input, c, wrap)
+	}
+}

@@ -40,6 +40,14 @@ type Counters struct {
 	Filter3Blocks      uint64
 	Filter3UsefulLanes uint64
 
+	// Batched (lane-per-packet) execution. BatchIters counts batched
+	// filtering steps (each advancing up to W lanes, every lane walking
+	// its own buffer); BatchActiveLanes sums the lanes that held a
+	// buffer at each step, so BatchActiveLanes/(BatchIters*W) is the
+	// Fig. 5b lane-occupancy metric extended to batch mode.
+	BatchIters       uint64
+	BatchActiveLanes uint64
+
 	// Candidate positions stored into the temporary arrays.
 	ShortCandidates uint64
 	LongCandidates  uint64
@@ -75,6 +83,8 @@ func (c *Counters) Add(o *Counters) {
 	c.MergedGathers += o.MergedGathers
 	c.Filter3Blocks += o.Filter3Blocks
 	c.Filter3UsefulLanes += o.Filter3UsefulLanes
+	c.BatchIters += o.BatchIters
+	c.BatchActiveLanes += o.BatchActiveLanes
 	c.ShortCandidates += o.ShortCandidates
 	c.LongCandidates += o.LongCandidates
 	c.HTProbes += o.HTProbes
@@ -101,6 +111,18 @@ func (c *Counters) UsefulLaneFrac(w int) float64 {
 	return float64(c.Filter3UsefulLanes) / (float64(c.Filter3Blocks) * float64(w))
 }
 
+// BatchLaneFrac returns the average fraction of lanes that held a
+// buffer per batched filtering step, given the register width W — the
+// lane-occupancy metric of the lane-per-packet batch mode (near 1.0
+// when lane refill keeps every lane busy, regardless of packet size).
+// Returns 0 when no batched steps ran.
+func (c *Counters) BatchLaneFrac(w int) float64 {
+	if c.BatchIters == 0 || w <= 0 {
+		return 0
+	}
+	return float64(c.BatchActiveLanes) / (float64(c.BatchIters) * float64(w))
+}
+
 // FilteringTimeFrac returns filtering time over total measured time
 // (Fig. 5b, left axis). Returns 0 when nothing was timed.
 func (c *Counters) FilteringTimeFrac() float64 {
@@ -123,9 +145,10 @@ func (c *Counters) CandidateFrac() float64 {
 
 func (c *Counters) String() string {
 	return fmt.Sprintf(
-		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d cand=%d/%d ht=%d verify=%d(%dB) matches=%d filter=%s verify=%s",
+		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d filter=%s verify=%s",
 		c.BytesScanned, c.Filter1Probes, c.Filter2Probes, c.Filter3Probes,
 		c.VectorIters, c.Gathers, c.MergedGathers, c.Filter3Blocks,
+		c.BatchIters, c.BatchActiveLanes,
 		c.ShortCandidates, c.LongCandidates, c.HTProbes, c.VerifyAttempts,
 		c.VerifyBytes, c.Matches,
 		time.Duration(c.FilteringNs), time.Duration(c.VerifyNs))

@@ -12,6 +12,7 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 		Filter3UsefulLanes: 9, ShortCandidates: 10, LongCandidates: 11,
 		HTProbes: 12, VerifyAttempts: 13, VerifyBytes: 14, Matches: 15,
 		FilteringNs: 16, VerifyNs: 17, OtherNs: 18, DFAAccesses: 19,
+		BatchIters: 20, BatchActiveLanes: 21,
 	}
 	var c Counters
 	c.Add(&a)
@@ -22,6 +23,7 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 		Filter3UsefulLanes: 18, ShortCandidates: 20, LongCandidates: 22,
 		HTProbes: 24, VerifyAttempts: 26, VerifyBytes: 28, Matches: 30,
 		FilteringNs: 32, VerifyNs: 34, OtherNs: 36, DFAAccesses: 38,
+		BatchIters: 40, BatchActiveLanes: 42,
 	}) {
 		t.Fatalf("Add result wrong: %+v", c)
 	}
@@ -94,5 +96,18 @@ func TestStringMentionsKeyFields(t *testing.T) {
 	s := c.String()
 	if !strings.Contains(s, "matches=42") || !strings.Contains(s, "bytes=1000") {
 		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestBatchLaneFrac(t *testing.T) {
+	c := Counters{BatchIters: 10, BatchActiveLanes: 60}
+	if got := c.BatchLaneFrac(8); got != 0.75 {
+		t.Fatalf("BatchLaneFrac = %f, want 0.75", got)
+	}
+	if (&Counters{}).BatchLaneFrac(8) != 0 {
+		t.Fatal("no batched steps must yield 0")
+	}
+	if c.BatchLaneFrac(0) != 0 {
+		t.Fatal("zero width must yield 0")
 	}
 }

@@ -143,3 +143,66 @@ func TestSynthesizeTinySizes(t *testing.T) {
 		}
 	}
 }
+
+func TestPacketsDrawsFromMix(t *testing.T) {
+	set := patterns.FromStrings("attack-token")
+	pkts := Packets(ISCXDay2, SimpleIMIX, 1200, 7, set)
+	if len(pkts) != 1200 {
+		t.Fatalf("got %d packets, want 1200", len(pkts))
+	}
+	counts := map[int]int{}
+	for _, p := range pkts {
+		counts[len(p)]++
+	}
+	for size := range counts {
+		ok := false
+		for _, e := range SimpleIMIX {
+			if e.Size == size {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("packet size %d not in mix", size)
+		}
+	}
+	// 7:4:1 weights: small packets must dominate, MTU packets be rare.
+	if counts[64] <= counts[570] || counts[570] <= counts[1518] || counts[1518] == 0 {
+		t.Fatalf("mix weights not respected: %v", counts)
+	}
+	// Deterministic: same arguments, same packets.
+	again := Packets(ISCXDay2, SimpleIMIX, 1200, 7, set)
+	for i := range pkts {
+		if !bytes.Equal(pkts[i], again[i]) {
+			t.Fatalf("packet %d differs between identical calls", i)
+		}
+	}
+	// Independent backing arrays: writing one packet must not touch the
+	// next (batch consumers hold packets across scans).
+	if len(pkts[0]) > 0 {
+		orig := append([]byte(nil), pkts[1]...)
+		for i := range pkts[0] {
+			pkts[0][i] = 0xFF
+		}
+		if !bytes.Equal(pkts[1], orig) {
+			t.Fatal("packets share backing memory")
+		}
+	}
+}
+
+func TestFixedPacketsAndMeanSize(t *testing.T) {
+	pkts := FixedPackets(DARPA2000, 64, 50, 3, nil)
+	if len(pkts) != 50 {
+		t.Fatalf("got %d packets", len(pkts))
+	}
+	for _, p := range pkts {
+		if len(p) != 64 {
+			t.Fatalf("packet of %d bytes, want 64", len(p))
+		}
+	}
+	if m := MeanSize(SimpleIMIX); m < 350 || m > 360 {
+		t.Fatalf("SimpleIMIX mean %f, want ~354", m)
+	}
+	if MeanSize(nil) != 0 {
+		t.Fatal("empty mix mean must be 0")
+	}
+}

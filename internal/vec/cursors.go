@@ -1,0 +1,82 @@
+package vec
+
+import "math/bits"
+
+// Lane-per-packet batch execution. In the serial algorithm every lane of
+// a register holds a *consecutive position of one buffer*; in batch mode
+// every lane walks a *different buffer* of the batch, so one gather
+// serves W packets and a drained lane immediately takes the next pending
+// buffer instead of idling. Cursors is the per-lane state of that mode,
+// and the helpers below are the batched analogues of Windows2/Windows4/
+// CompressStore.
+
+// Cursors tracks, for each lane, which buffer of the batch the lane is
+// walking (Buf) and the lane's current position inside it (Pos). Lanes
+// outside the caller's active mask are idle and their entries are
+// meaningless.
+type Cursors struct {
+	Buf [MaxLanes]int32
+	Pos [MaxLanes]int32
+}
+
+// PackCursor encodes one (buffer, position) candidate as buf<<32|pos,
+// the packed form the batched candidate arrays store.
+func PackCursor(buf, pos int32) int64 { return int64(buf)<<32 | int64(uint32(pos)) }
+
+// UnpackCursor is the inverse of PackCursor.
+func UnpackCursor(pc int64) (buf, pos int32) { return int32(pc >> 32), int32(uint32(pc)) }
+
+// GatherWindows2 builds the 2-byte sliding window of every active lane's
+// cursor: lane i reads bufs[cur.Buf[i]] at cur.Pos[i]. This is the
+// lane-per-packet rendition of Windows2 — one gather-shaped access
+// serving W different buffers. Idle lanes produce 0. The caller must
+// keep every active cursor at least 2 bytes inside its buffer.
+func (e *Engine) GatherWindows2(bufs [][]byte, cur *Cursors, active Mask) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		if !active.Test(i) {
+			continue
+		}
+		b := bufs[cur.Buf[i]]
+		p := cur.Pos[i]
+		r[i] = uint32(b[p]) | uint32(b[p+1])<<8
+	}
+	return r
+}
+
+// GatherWindows4 builds the 4-byte sliding windows of the active
+// cursors (the speculative filter-3 input). The caller must keep every
+// active cursor at least 4 bytes inside its buffer.
+func (e *Engine) GatherWindows4(bufs [][]byte, cur *Cursors, active Mask) U32 {
+	var r U32
+	for i := 0; i < e.w; i++ {
+		if !active.Test(i) {
+			continue
+		}
+		b := bufs[cur.Buf[i]]
+		p := cur.Pos[i]
+		r[i] = uint32(b[p]) | uint32(b[p+1])<<8 |
+			uint32(b[p+2])<<16 | uint32(b[p+3])<<24
+	}
+	return r
+}
+
+// Advance increments the position of every active lane — the batched
+// loop's step (each lane moves one position within its own buffer).
+func (e *Engine) Advance(cur *Cursors, active Mask) {
+	for w := uint32(active); w != 0; w &= w - 1 {
+		cur.Pos[bits.TrailingZeros32(w)]++
+	}
+}
+
+// CompressStoreCursors appends the packed (buffer, position) candidate
+// of every active lane of m to dst and returns the extended slice: the
+// batch-mode "store positions of matches" step, where a stored position
+// must also identify which buffer it belongs to.
+func (e *Engine) CompressStoreCursors(dst []int64, cur *Cursors, m Mask) []int64 {
+	for w := uint32(m); w != 0; w &= w - 1 {
+		l := bits.TrailingZeros32(w)
+		dst = append(dst, PackCursor(cur.Buf[l], cur.Pos[l]))
+	}
+	return dst
+}

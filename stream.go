@@ -12,38 +12,60 @@ import (
 //
 // Offsets in emitted matches are absolute stream offsets.
 type StreamScanner struct {
-	m        Matcher
+	scan     func(input []byte, c *Counters, emit EmitFunc)
+	set      *PatternSet
 	emit     EmitFunc
 	carry    []byte
 	maxLen   int
 	consumed int64 // total stream bytes fully processed (end of carry)
 }
 
-// NewStreamScanner wraps a Matcher for chunked scanning. emit receives
-// every match with absolute stream offsets; it must be non-nil.
-//
-// Pass a *Session to scan with a shared compiled Engine (one
-// StreamScanner per stream, one Session per goroutine; several
-// StreamScanners on one goroutine may share a Session). Passing an
-// *Engine directly also works and is safe from any goroutine, at the
-// cost of a scratch-pool round-trip per Write.
-func NewStreamScanner(m Matcher, emit EmitFunc) (*StreamScanner, error) {
-	if m == nil {
-		return nil, fmt.Errorf("vpatch: nil matcher")
-	}
+// newStreamScanner wires a scan function and its pattern set into the
+// chunked-scanning state machine.
+func newStreamScanner(scan func([]byte, *Counters, EmitFunc), set *PatternSet, emit EmitFunc) (*StreamScanner, error) {
 	if emit == nil {
 		return nil, fmt.Errorf("vpatch: nil emit func")
 	}
-	maxLen := m.Set().MaxLen()
+	maxLen := set.MaxLen()
 	if maxLen < 1 {
 		maxLen = 1
 	}
 	return &StreamScanner{
-		m:      m,
+		scan:   scan,
+		set:    set,
 		emit:   emit,
 		carry:  make([]byte, 0, (maxLen-1)*2),
 		maxLen: maxLen,
 	}, nil
+}
+
+// NewStreamScanner returns a scanner for one stream backed by this
+// engine's pooled Scan path: safe to construct and Write from any
+// goroutine (one goroutine per scanner at a time), at the cost of a
+// scratch-pool round-trip per Write. emit receives every match with
+// absolute stream offsets; it must be non-nil.
+func (e *Engine) NewStreamScanner(emit EmitFunc) (*StreamScanner, error) {
+	return newStreamScanner(e.Scan, e.set, emit)
+}
+
+// NewStreamScanner returns a scanner for one stream scanning through
+// this session — the lowest-overhead form: one Session per goroutine,
+// any number of StreamScanners (one per stream) on top of it. The
+// scanner inherits the session's single-goroutine constraint.
+func (s *Session) NewStreamScanner(emit EmitFunc) (*StreamScanner, error) {
+	return newStreamScanner(s.Scan, s.eng.set, emit)
+}
+
+// NewStreamScanner wraps a Matcher for chunked scanning: a thin
+// adapter over the Engine/Session constructors, kept so code written
+// against the Matcher interface still compiles.
+//
+// Deprecated: use Engine.NewStreamScanner or Session.NewStreamScanner.
+func NewStreamScanner(m Matcher, emit EmitFunc) (*StreamScanner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("vpatch: nil matcher")
+	}
+	return newStreamScanner(m.Scan, m.Set(), emit)
 }
 
 // Write feeds the next chunk of the stream. It may be called with chunks
@@ -58,8 +80,8 @@ func (s *StreamScanner) Write(chunk []byte) (int, error) {
 
 	// Matches that end at or before carryLen were already reported by an
 	// earlier Write (they lie entirely within the carry).
-	s.m.Scan(buf, nil, func(m Match) {
-		end := int(m.Pos) + s.m.Set().Pattern(m.PatternID).Len()
+	s.scan(buf, nil, func(m Match) {
+		end := int(m.Pos) + s.set.Pattern(m.PatternID).Len()
 		if end <= carryLen {
 			return
 		}

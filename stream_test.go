@@ -34,6 +34,53 @@ func TestStreamConstructorErrors(t *testing.T) {
 	}
 }
 
+// TestStreamEngineAndSessionConstructors: the Engine- and
+// Session-backed constructors must behave identically to the deprecated
+// Matcher wrapper, including the nil-emit error.
+func TestStreamEngineAndSessionConstructors(t *testing.T) {
+	set := PatternSetFromStrings("chunk-spanning-pattern", "GET")
+	input := []byte("x GET chunk-spanning-pattern and GETchunk-spanning-pattern!")
+	eng, err := Compile(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eng.FindAll(input)
+	if len(want) == 0 {
+		t.Fatal("test needs matches")
+	}
+
+	if _, err := eng.NewStreamScanner(nil); err == nil {
+		t.Fatal("Engine constructor accepted nil emit")
+	}
+	if _, err := eng.NewSession().NewStreamScanner(nil); err == nil {
+		t.Fatal("Session constructor accepted nil emit")
+	}
+
+	for name, mk := range map[string]func(EmitFunc) (*StreamScanner, error){
+		"engine":  eng.NewStreamScanner,
+		"session": eng.NewSession().NewStreamScanner,
+	} {
+		var got []Match
+		s, err := mk(func(m Match) { got = append(got, m) })
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for cut := 0; cut < len(input); cut += 7 {
+			end := cut + 7
+			if end > len(input) {
+				end = len(input)
+			}
+			if _, err := s.Write(input[cut:end]); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		patterns.SortMatches(got)
+		if !patterns.EqualMatches(got, append([]Match(nil), want...)) {
+			t.Fatalf("%s constructor: %d matches, want %d", name, len(got), len(want))
+		}
+	}
+}
+
 func TestStreamMatchesWholeInputScan(t *testing.T) {
 	set := PatternSetFromStrings("chunk-spanning-pattern", "GET", "ab")
 	input := []byte("ab GET chunk-spanning-pattern GET abchunk-spanning-patternab")

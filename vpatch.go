@@ -27,8 +27,16 @@
 // Every matcher reports every occurrence of every pattern (pattern ID and
 // start offset), byte-identical across algorithms; case-insensitive
 // patterns are supported throughout. For scanning unbounded streams in
-// chunks, see StreamScanner; for sharded multi-core scans of one large
-// input, see FindAllParallel.
+// chunks, see StreamScanner; for multi-core scans of one large input,
+// see FindAllParallel.
+//
+// For the dominant NIDS workload — many small buffers (packets, HTTP
+// requests, reassembled payload pieces) — scan batches instead of
+// buffers: Session.ScanBatch / Engine.FindAllBatch hand the engine many
+// buffers per call, and V-PATCH walks a different buffer in every
+// vector lane (refilling drained lanes from the pending queue), so lane
+// occupancy no longer collapses on small inputs. See the README's batch
+// scanning section for when to batch and how to tune watermarks.
 package vpatch
 
 import (
