@@ -7,12 +7,19 @@
 //	vpatch-bench -fig 4a -size 64   # 64 MB of traffic per dataset
 //	vpatch-bench -sizes 64,256,1514,imix -batch 32
 //	                                # packet-size sweep: serial vs batch
+//	vpatch-bench -db web.vpdb      # startup: load vs recompile + scan
 //
 // Figures: 4a 4b 5a 5b 5c 6a 6b 6c 7a 7b. Output is the same rows/series
 // the paper plots: wall-clock Gbps of this Go implementation plus
 // cost-model Gbps on the figure's platform (Haswell for Fig 4-6, Xeon-Phi
 // for Fig 7); speedups are model-based. See EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// The -db mode runs the startup benchmark on a precompiled database
+// written by vpatch-compile: it times loading the database versus
+// recompiling the same pattern set with the same engine, prints the
+// engine's Info line, and measures scan throughput over synthesized
+// traffic — the compile-once / load-everywhere payoff in one report.
 //
 // The -sizes mode runs the batch-scanning sweep instead of a figure:
 // packets of each given size (or the IMIX mix) scanned one Scan call
@@ -27,10 +34,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"vpatch"
 	"vpatch/internal/costmodel"
 	"vpatch/internal/experiments"
 	"vpatch/internal/patterns"
+	"vpatch/internal/traffic"
 )
 
 func main() {
@@ -42,6 +52,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
 	sizesFlag := flag.String("sizes", "", "comma-separated packet sizes in bytes (or 'imix'): run the serial-vs-batch packet sweep instead of figures")
 	batchN := flag.Int("batch", 32, "buffers per ScanBatch call in the packet sweep")
+	dbPath := flag.String("db", "", "precompiled .vpdb database: run the load-vs-compile startup benchmark instead of figures")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -50,6 +61,10 @@ func main() {
 		Repeats:      *repeats,
 	}
 
+	if *dbPath != "" {
+		runDBBench(cfg, *dbPath)
+		return
+	}
 	if *sizesFlag != "" {
 		runBatchSweep(cfg, *sizesFlag, *batchN, *csvDir)
 		return
@@ -130,6 +145,65 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runDBBench is the -db startup benchmark: load the database (timed,
+// repeated), recompile the identical pattern set with the identical
+// engine for comparison, print the engine Info, and measure scan
+// throughput over synthesized traffic.
+func runDBBench(cfg experiments.Config, path string) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatalBench(err)
+	}
+	reps := cfg.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+
+	var eng *vpatch.Engine
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		eng, err = vpatch.Deserialize(blob)
+		if err != nil {
+			fatalBench(err)
+		}
+	}
+	loadTime := time.Since(t0) / time.Duration(reps)
+	info := eng.Info()
+	fmt.Printf("database: %s (%d bytes)\n", path, len(blob))
+	fmt.Printf("engine:   %s\n", info)
+
+	opt := vpatch.Options{Algorithm: eng.Algorithm(), VectorWidth: eng.VectorWidth()}
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := vpatch.Compile(eng.Set(), opt); err != nil {
+			fatalBench(err)
+		}
+	}
+	compileTime := time.Since(t0) / time.Duration(reps)
+	fmt.Printf("startup:  load %s vs compile %s (%.1fx)\n",
+		loadTime.Round(time.Microsecond), compileTime.Round(time.Microsecond),
+		float64(compileTime)/float64(loadTime))
+
+	data := traffic.Synthesize(traffic.ISCXDay2, cfg.TrafficBytes, cfg.Seed, eng.Set())
+	sess := eng.NewSession()
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		t0 = time.Now()
+		var n uint64
+		sess.Scan(data, nil, func(vpatch.Match) { n++ })
+		if gbps := float64(len(data)) * 8 / float64(time.Since(t0).Nanoseconds()); gbps > best {
+			best = gbps
+		}
+	}
+	fmt.Printf("scan:     %.3f Gbps over %d MB of ISCX-like traffic (best of %d)\n",
+		best, len(data)>>20, reps)
+}
+
+func fatalBench(err error) {
+	fmt.Fprintln(os.Stderr, "vpatch-bench:", err)
+	os.Exit(1)
 }
 
 // runBatchSweep parses the -sizes list and runs the packet-size sweep

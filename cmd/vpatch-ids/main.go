@@ -6,6 +6,10 @@
 //
 //	vpatch-ids -rules web.rules -pcap capture.pcap
 //	vpatch-ids -rules web.rules -pcap capture.pcap -algo dfc -top 10
+//	vpatch-ids -db all-groups.vpdb -pcap capture.pcap
+//
+// -db loads a precompiled rule-group database written by
+// `vpatch-compile -ids` instead of compiling the rules at startup.
 //
 // Captures can be produced with `vpatch-gen -pcap` or any tool writing
 // classic little-endian libpcap Ethernet captures in the shape netsim
@@ -26,24 +30,15 @@ import (
 )
 
 func main() {
-	rulesPath := flag.String("rules", "", "Snort-style rules file (required)")
+	rulesPath := flag.String("rules", "", "Snort-style rules file")
+	dbPath := flag.String("db", "", "precompiled rule-group .vpdb database (instead of -rules)")
 	pcapPath := flag.String("pcap", "", "libpcap capture to analyze (required)")
 	algoName := flag.String("algo", "vpatch", "matching engine: vpatch spatch dfc vectordfc ac wumanber ffbf")
 	top := flag.Int("top", 5, "print the N most-alerting rules")
 	flag.Parse()
-	if *rulesPath == "" || *pcapPath == "" {
+	if (*rulesPath == "") == (*dbPath == "") || *pcapPath == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-
-	rf, err := os.Open(*rulesPath)
-	if err != nil {
-		fatal(err)
-	}
-	set, err := patterns.ParseRules(rf, patterns.ParseOptions{})
-	rf.Close()
-	if err != nil {
-		fatal(err)
 	}
 
 	pf, err := os.Open(*pcapPath)
@@ -56,22 +51,49 @@ func main() {
 		fatal(err)
 	}
 
-	alg, err := vpatch.ParseAlgorithm(*algoName)
-	if err != nil {
-		fatal(err)
-	}
-
 	perRule := map[int32]int{}
 	perFlow := map[netsim.FlowKey]int{}
 	total := 0
-	engine, err := ids.NewEngine(set, vpatch.Options{Algorithm: alg}, func(a ids.Alert) {
+	emit := func(a ids.Alert) {
 		total++
 		perRule[a.PatternID]++
 		perFlow[a.Flow]++
-	})
-	if err != nil {
-		fatal(err)
 	}
+
+	var engine *ids.Engine
+	if *dbPath != "" {
+		start := time.Now()
+		df, err := os.Open(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+		engine, err = ids.ReadDB(df, emit)
+		df.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded rule-group database in %s\n",
+			time.Since(start).Round(time.Microsecond))
+	} else {
+		rf, err := os.Open(*rulesPath)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := patterns.ParseRules(rf, patterns.ParseOptions{})
+		rf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		alg, err := vpatch.ParseAlgorithm(*algoName)
+		if err != nil {
+			fatal(err)
+		}
+		engine, err = ids.NewEngine(set, vpatch.Options{Algorithm: alg}, emit)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	set := engine.Set()
 
 	bytes := 0
 	start := time.Now()
@@ -84,7 +106,8 @@ func main() {
 
 	fmt.Printf("capture: %d segments, %d flows, %d payload bytes\n",
 		len(segs), engine.Flows(), bytes)
-	fmt.Printf("engine:  %s over %d rules in %d groups\n", alg, set.Len(), len(engine.GroupSizes()))
+	fmt.Printf("engine:  %s over %d rules in %d groups\n",
+		engine.Algorithm(), set.Len(), len(engine.GroupSizes()))
 	fmt.Printf("result:  %d alerts in %s (%.3f Gbps)\n",
 		total, elapsed.Round(time.Millisecond),
 		float64(bytes)*8/float64(elapsed.Nanoseconds()))

@@ -6,15 +6,18 @@
 //
 //	vpatch-match -rules web.rules -in capture.bin
 //	vpatch-match -patterns strings.txt -algo spatch -count -in big.log
+//	vpatch-match -db web.vpdb -in capture.bin
 //	cat stream | vpatch-match -rules web.rules -stream
 //
 // -rules parses Snort-style rules (content/nocase/hex escapes); -patterns
-// reads one literal string per line. -stream scans stdin in 64 KB chunks
-// through the StreamScanner (matches may span chunk boundaries).
+// reads one literal string per line; -db loads a precompiled database
+// written by vpatch-compile instead of compiling at startup (the -algo
+// and -width flags are then taken from the database). -stream scans
+// stdin in 64 KB chunks through the StreamScanner (matches may span
+// chunk boundaries).
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +31,7 @@ import (
 func main() {
 	rulesPath := flag.String("rules", "", "Snort-style rules file")
 	patsPath := flag.String("patterns", "", "plain pattern file, one literal per line")
+	dbPath := flag.String("db", "", "precompiled .vpdb database (instead of -rules/-patterns)")
 	inPath := flag.String("in", "", "input file (default stdin)")
 	algoName := flag.String("algo", "vpatch", "algorithm: vpatch spatch dfc vectordfc ac wumanber ffbf")
 	width := flag.Int("width", 8, "vector width for vectorized algorithms (4, 8, 16)")
@@ -36,23 +40,43 @@ func main() {
 	maxPrint := flag.Int("max-print", 20, "print at most this many matches (0 = all)")
 	flag.Parse()
 
-	set, err := loadPatterns(*rulesPath, *patsPath)
-	if err != nil {
-		fatal(err)
+	var eng *vpatch.Engine
+	if *dbPath != "" {
+		if *rulesPath != "" || *patsPath != "" {
+			fatal(fmt.Errorf("use either -db or -rules/-patterns, not both"))
+		}
+		start := time.Now()
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err = vpatch.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d patterns for %s in %s\n",
+			eng.Set().Len(), eng.Algorithm(), time.Since(start).Round(time.Microsecond))
+	} else {
+		set, err := patterns.LoadSetFile(*rulesPath, *patsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if set.Len() == 0 {
+			fatal(fmt.Errorf("no patterns loaded (use -rules, -patterns or -db)"))
+		}
+		alg, err := vpatch.ParseAlgorithm(*algoName)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err = vpatch.Compile(set, vpatch.Options{Algorithm: alg, VectorWidth: *width})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "compiled %d patterns for %s\n", set.Len(), alg)
 	}
-	if set.Len() == 0 {
-		fatal(fmt.Errorf("no patterns loaded (use -rules or -patterns)"))
-	}
-	alg, err := vpatch.ParseAlgorithm(*algoName)
-	if err != nil {
-		fatal(err)
-	}
-	eng, err := vpatch.Compile(set, vpatch.Options{Algorithm: alg, VectorWidth: *width})
-	if err != nil {
-		fatal(err)
-	}
+	set := eng.Set()
 	m := eng.NewSession()
-	fmt.Fprintf(os.Stderr, "compiled %d patterns for %s\n", set.Len(), alg)
 
 	var in io.Reader = os.Stdin
 	if *inPath != "" {
@@ -116,35 +140,6 @@ func main() {
 	if *countOnly {
 		fmt.Println(total)
 	}
-}
-
-func loadPatterns(rulesPath, patsPath string) (*vpatch.PatternSet, error) {
-	switch {
-	case rulesPath != "" && patsPath != "":
-		return nil, fmt.Errorf("use either -rules or -patterns, not both")
-	case rulesPath != "":
-		f, err := os.Open(rulesPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return patterns.ParseRules(f, patterns.ParseOptions{})
-	case patsPath != "":
-		f, err := os.Open(patsPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		set := vpatch.NewPatternSet()
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			if line := sc.Text(); line != "" {
-				set.Add([]byte(line), false, vpatch.ProtoGeneric)
-			}
-		}
-		return set, sc.Err()
-	}
-	return vpatch.NewPatternSet(), nil
 }
 
 func truncate(b []byte, n int) string {

@@ -1,0 +1,226 @@
+package vpatch
+
+// Compiled pattern databases: the serialized form of an Engine.
+//
+// Production rule sets are compiled offline — the way DFC and
+// Hyperscan-class matchers ship a read-only compiled database — and
+// loaded at startup in milliseconds instead of recompiled on every
+// process start. Serialize/WriteTo flatten an Engine's compiled state
+// (filters, automata, verification tables and the pattern set itself)
+// into a versioned, checksummed .vpdb blob; Deserialize/ReadFrom
+// restore an Engine that is scan-for-scan identical to the original,
+// including batch and session paths, and just as goroutine-safe.
+//
+// The load path trusts nothing: magic, format version, CRC and the
+// pattern-set digest are validated, and every decoded array length and
+// index is bounds-checked, so a truncated, corrupted or mismatched
+// database yields an error — never a panic. See the README's "Offline
+// compilation" section for the format versioning policy.
+
+import (
+	"fmt"
+	"io"
+
+	"vpatch/internal/ahocorasick"
+	"vpatch/internal/core"
+	"vpatch/internal/dbfmt"
+	"vpatch/internal/dfc"
+	"vpatch/internal/engine"
+	"vpatch/internal/ffbf"
+	"vpatch/internal/patterns"
+	"vpatch/internal/wumanber"
+)
+
+// DBFormatVersion is the compiled-database format version this build
+// reads and writes. Databases of any other version are rejected at
+// load; recompile from rules after upgrading across a version bump.
+const DBFormatVersion = dbfmt.FormatVersion
+
+// widther is implemented by the vectorized engines.
+type widther interface{ Width() int }
+
+// VectorWidth returns the engine's vector width in 32-bit lanes, or 0
+// for scalar engines.
+func (e *Engine) VectorWidth() int {
+	if w, ok := e.eng.(widther); ok {
+		return w.Width()
+	}
+	return 0
+}
+
+// Serialize flattens the engine into a compiled database blob.
+func (e *Engine) Serialize() ([]byte, error) {
+	codec, ok := e.eng.(engine.DBCodec)
+	if !ok {
+		return nil, fmt.Errorf("vpatch: %s engine does not support serialization", e.alg)
+	}
+	var pe dbfmt.Encoder
+	patterns.EncodeSet(&pe, e.set)
+	var ee dbfmt.Encoder
+	codec.EncodeCompiled(&ee)
+	h := dbfmt.Header{
+		Kind:      dbfmt.KindEngine,
+		Algorithm: uint8(e.alg),
+		Width:     uint8(e.VectorWidth()),
+		Digest:    e.set.Digest(),
+	}
+	return dbfmt.Encode(h, []dbfmt.Section{
+		{Tag: dbfmt.TagPatterns, Data: pe.Bytes()},
+		{Tag: dbfmt.TagEngine, Data: ee.Bytes()},
+	}), nil
+}
+
+// WriteTo writes the serialized engine to w (io.WriterTo).
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	blob, err := e.Serialize()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(blob)
+	return int64(n), err
+}
+
+// Deserialize restores an Engine from a compiled database blob. The
+// returned Engine is goroutine-safe exactly like a Compile result; its
+// matches are identical to the engine that was serialized. The Engine
+// may retain data (filters alias it), so the caller must not modify
+// the blob afterwards; use ReadFrom when reading from a file to get a
+// privately owned buffer.
+func Deserialize(data []byte) (*Engine, error) {
+	h, secs, err := dbfmt.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("vpatch: %w", err)
+	}
+	if h.Kind != dbfmt.KindEngine {
+		if h.Kind == dbfmt.KindIDS {
+			return nil, fmt.Errorf("vpatch: database holds an IDS rule-group database, not a single engine (load it with the ids package)")
+		}
+		return nil, fmt.Errorf("vpatch: unknown database kind %d", h.Kind)
+	}
+	alg := Algorithm(h.Algorithm)
+	if alg < AlgoVPatch || alg > AlgoFFBF {
+		return nil, fmt.Errorf("vpatch: database compiled for unknown algorithm %d", h.Algorithm)
+	}
+
+	psec := dbfmt.FindSection(secs, dbfmt.TagPatterns)
+	if psec == nil {
+		return nil, fmt.Errorf("vpatch: database has no pattern section")
+	}
+	pd := dbfmt.NewDecoder(psec)
+	set, err := patterns.DecodeSet(pd)
+	if err != nil {
+		return nil, fmt.Errorf("vpatch: pattern section: %w", err)
+	}
+	if err := pd.Finish(); err != nil {
+		return nil, fmt.Errorf("vpatch: pattern section: %w", err)
+	}
+	if got := set.Digest(); got != h.Digest {
+		return nil, fmt.Errorf("vpatch: pattern-set digest mismatch (header %#x, decoded %#x)", h.Digest, got)
+	}
+
+	esec := dbfmt.FindSection(secs, dbfmt.TagEngine)
+	if esec == nil {
+		return nil, fmt.Errorf("vpatch: database has no engine section")
+	}
+	d := dbfmt.NewDecoder(esec)
+	var eng engine.Engine
+	switch alg {
+	case AlgoVPatch:
+		eng, err = core.DecodeVPatch(d, set)
+	case AlgoSPatch:
+		eng, err = core.DecodeSPatch(d, set)
+	case AlgoDFC:
+		eng, err = dfc.Decode(d, set)
+	case AlgoVectorDFC:
+		eng, err = dfc.DecodeVector(d, set)
+	case AlgoAhoCorasick:
+		eng, err = ahocorasick.Decode(d, set)
+	case AlgoWuManber:
+		eng, err = wumanber.Decode(d, set)
+	case AlgoFFBF:
+		eng, err = ffbf.Decode(d, set)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("vpatch: %s engine section: %w", alg, err)
+	}
+	out := &Engine{alg: alg, set: set, eng: eng}
+	if w := out.VectorWidth(); w != int(h.Width) {
+		return nil, fmt.Errorf("vpatch: header vector width %d disagrees with engine width %d", h.Width, w)
+	}
+	return out, nil
+}
+
+// ReadFrom reads a complete compiled database from r and restores the
+// Engine. The whole database is buffered in memory (the format is
+// CRC-checked as one unit).
+func ReadFrom(r io.Reader) (*Engine, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("vpatch: reading database: %w", err)
+	}
+	return Deserialize(data)
+}
+
+// Info summarizes a compiled engine: what it matches and what it
+// costs. Surfaced by the vpatch-compile and vpatch-bench tools.
+type Info struct {
+	// Algorithm is the engine's matching algorithm.
+	Algorithm Algorithm
+	// Patterns is the number of compiled patterns.
+	Patterns int
+	// MaxPatternLen is the longest pattern in bytes (stream carries and
+	// shard overlaps are sized from it).
+	MaxPatternLen int
+	// VectorWidth is the lane count of vectorized engines, 0 otherwise.
+	VectorWidth int
+	// MemoryBytes estimates the resident size of the compiled state
+	// (filters, automata, verification tables; excludes the pattern
+	// set's own bytes).
+	MemoryBytes int
+	// SerializedBytes is the size of the engine's compiled database
+	// (Serialize output), including the pattern set.
+	SerializedBytes int
+}
+
+// Info reports the engine's summary. It serializes the engine to
+// measure SerializedBytes, so it is not free — call it for reporting,
+// not per scan.
+func (e *Engine) Info() Info {
+	inf := Info{
+		Algorithm:     e.alg,
+		Patterns:      e.set.Len(),
+		MaxPatternLen: e.set.MaxLen(),
+		VectorWidth:   e.VectorWidth(),
+	}
+	if s, ok := e.eng.(engine.Sizer); ok {
+		inf.MemoryBytes = s.MemoryFootprint()
+	}
+	if blob, err := e.Serialize(); err == nil {
+		inf.SerializedBytes = len(blob)
+	}
+	return inf
+}
+
+// String renders the info as one human-readable line.
+func (i Info) String() string {
+	w := ""
+	if i.VectorWidth > 0 {
+		w = fmt.Sprintf(" W=%d", i.VectorWidth)
+	}
+	return fmt.Sprintf("%s%s: %d patterns (max len %d), %s compiled state, %s serialized",
+		i.Algorithm, w, i.Patterns, i.MaxPatternLen,
+		fmtBytes(i.MemoryBytes), fmtBytes(i.SerializedBytes))
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,313 @@
+package vpatch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"vpatch/internal/dbfmt"
+	"vpatch/internal/patterns"
+	"vpatch/internal/traffic"
+)
+
+var dbAlgorithms = []Algorithm{
+	AlgoVPatch, AlgoSPatch, AlgoDFC, AlgoVectorDFC,
+	AlgoAhoCorasick, AlgoWuManber, AlgoFFBF,
+}
+
+// randomSet builds a pattern set with the shapes that exercise every
+// serialization path: 1-byte patterns, short (2-3 B), mid, long,
+// nocase variants, binary bytes, several protocols.
+func randomSet(rng *rand.Rand, n int) *PatternSet {
+	set := NewPatternSet()
+	protos := []Protocol{ProtoGeneric, ProtoHTTP, ProtoDNS, ProtoFTP, ProtoSMTP}
+	for set.Len() < n {
+		ln := 1 + rng.Intn(24)
+		if rng.Intn(4) == 0 {
+			ln = 1 + rng.Intn(3) // force short-class coverage
+		}
+		data := make([]byte, ln)
+		for i := range data {
+			if rng.Intn(5) == 0 {
+				data[i] = byte(rng.Intn(256)) // binary
+			} else {
+				data[i] = byte('A' + rng.Intn(52))
+			}
+		}
+		set.Add(data, rng.Intn(3) == 0, protos[rng.Intn(len(protos))])
+	}
+	return set
+}
+
+// TestDBRoundTripProperty is the round-trip property of the compiled
+// database format: compile → serialize → deserialize must produce an
+// engine whose Scan and ScanBatch output is match-identical to the
+// fresh engine, across all seven algorithms and randomized pattern
+// sets.
+func TestDBRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		set := randomSet(rng, 40+trial*60)
+		input := traffic.Synthesize(traffic.ISCXDay2, 48<<10, int64(trial+9), set)
+		// A batch of small buffers slicing the same traffic.
+		var batch [][]byte
+		for off := 0; off < len(input); {
+			n := 37 + rng.Intn(1400)
+			if off+n > len(input) {
+				n = len(input) - off
+			}
+			batch = append(batch, input[off:off+n])
+			off += n
+		}
+		for _, alg := range dbAlgorithms {
+			fresh, err := Compile(set, Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("trial %d %s: Compile: %v", trial, alg, err)
+			}
+			blob, err := fresh.Serialize()
+			if err != nil {
+				t.Fatalf("trial %d %s: Serialize: %v", trial, alg, err)
+			}
+			loaded, err := Deserialize(blob)
+			if err != nil {
+				t.Fatalf("trial %d %s: Deserialize: %v", trial, alg, err)
+			}
+			if loaded.Algorithm() != alg {
+				t.Fatalf("trial %d %s: loaded algorithm %s", trial, alg, loaded.Algorithm())
+			}
+
+			want := fresh.FindAll(input)
+			got := loaded.FindAll(input)
+			if !patterns.EqualMatches(want, got) {
+				t.Errorf("trial %d %s: Scan mismatch: %d fresh vs %d loaded matches",
+					trial, alg, len(want), len(got))
+			}
+
+			wantB := fresh.FindAllBatch(batch)
+			gotB := loaded.FindAllBatch(batch)
+			for i := range wantB {
+				if !patterns.EqualMatches(wantB[i], gotB[i]) {
+					t.Errorf("trial %d %s: ScanBatch buffer %d mismatch", trial, alg, i)
+					break
+				}
+			}
+
+			// A session over the loaded engine works like any other.
+			s := loaded.NewSession()
+			n := 0
+			s.Scan(input, nil, func(Match) { n++ })
+			if n != len(want) {
+				t.Errorf("trial %d %s: session scan found %d, want %d", trial, alg, n, len(want))
+			}
+		}
+	}
+}
+
+// TestDBRoundTripSecondGeneration checks serialize(deserialize(x)) ==
+// x: the loaded engine re-serializes to the identical blob, so
+// databases are stable across load/save cycles.
+func TestDBRoundTripSecondGeneration(t *testing.T) {
+	set := randomSet(rand.New(rand.NewSource(7)), 80)
+	for _, alg := range dbAlgorithms {
+		fresh, err := Compile(set, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", alg, err)
+		}
+		blob1, err := fresh.Serialize()
+		if err != nil {
+			t.Fatalf("%s: Serialize: %v", alg, err)
+		}
+		loaded, err := Deserialize(blob1)
+		if err != nil {
+			t.Fatalf("%s: Deserialize: %v", alg, err)
+		}
+		blob2, err := loaded.Serialize()
+		if err != nil {
+			t.Fatalf("%s: re-Serialize: %v", alg, err)
+		}
+		if !bytes.Equal(blob1, blob2) {
+			t.Errorf("%s: re-serialized database differs (%d vs %d bytes)", alg, len(blob1), len(blob2))
+		}
+	}
+}
+
+// TestDBWriteToReadFrom exercises the io.Writer/io.Reader surface.
+func TestDBWriteToReadFrom(t *testing.T) {
+	set := PatternSetFromStrings("attack", "GET /", "xx")
+	eng, err := Compile(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := eng.WriteTo(&buf)
+	if err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo: n=%d err=%v (buffered %d)", n, err, buf.Len())
+	}
+	loaded, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	in := []byte("a GET /attack xx")
+	if !patterns.EqualMatches(eng.FindAll(in), loaded.FindAll(in)) {
+		t.Error("ReadFrom engine mismatch")
+	}
+}
+
+// TestDeserializeRejects covers the explicit failure modes: wrong
+// magic, truncations, bit flips (CRC), digest mismatch, wrong kind.
+func TestDeserializeRejects(t *testing.T) {
+	set := randomSet(rand.New(rand.NewSource(3)), 30)
+	eng, err := Compile(set, Options{Algorithm: AlgoVPatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := eng.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Deserialize(nil); err == nil {
+		t.Error("nil input: want error")
+	}
+	for _, cut := range []int{1, len(blob) / 3, len(blob) - 1} {
+		if _, err := Deserialize(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d: want error", cut)
+		}
+	}
+	for i := 0; i < len(blob); i += len(blob)/97 + 1 {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x10
+		if _, err := Deserialize(bad); err == nil {
+			t.Errorf("bit flip at %d: want error", i)
+		}
+	}
+}
+
+// TestDeserializeRejectsCraftedCounts is the regression test for
+// varint counts that wrap negative when cast to int: a CRC-valid
+// database whose per-state output counts sum to a plausible total via
+// a huge varint must be rejected, not panic with a slice-bounds error.
+func TestDeserializeRejectsCraftedCounts(t *testing.T) {
+	set := PatternSetFromStrings("abcdef", "ghijkl")
+	var pe dbfmt.Encoder
+	patterns.EncodeSet(&pe, set)
+
+	// AC engine section: folded=false, states=2, output counts
+	// [5, 2^64-2] (int(-2), so 5 + -2 == 3 matches the flat length),
+	// then 3 flat IDs.
+	var ee dbfmt.Encoder
+	ee.Bool(false)
+	ee.Uvarint(2)
+	ee.Uvarint(5)
+	ee.Uvarint(0xFFFFFFFFFFFFFFFE)
+	ee.Int32s([]int32{0, 1, 0})
+	ee.U8(0) // repFull (never reached)
+
+	blob := dbfmt.Encode(
+		dbfmt.Header{Kind: dbfmt.KindEngine, Algorithm: uint8(AlgoAhoCorasick), Digest: set.Digest()},
+		[]dbfmt.Section{
+			{Tag: dbfmt.TagPatterns, Data: pe.Bytes()},
+			{Tag: dbfmt.TagEngine, Data: ee.Bytes()},
+		})
+	if _, err := Deserialize(blob); err == nil {
+		t.Fatal("crafted wrapping count: want error")
+	}
+}
+
+// TestInfo checks the Info surface across a vectorized and a scalar
+// engine.
+func TestInfo(t *testing.T) {
+	set := PatternSetFromStrings("alpha", "bet", "c", "longestpattern")
+	v, err := Compile(set, Options{Algorithm: AlgoVPatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := v.Info()
+	if inf.Algorithm != AlgoVPatch || inf.Patterns != 4 || inf.MaxPatternLen != 14 {
+		t.Errorf("V-PATCH info = %+v", inf)
+	}
+	if inf.VectorWidth != 8 {
+		t.Errorf("V-PATCH width = %d, want 8", inf.VectorWidth)
+	}
+	if inf.MemoryBytes <= 0 || inf.SerializedBytes <= 0 {
+		t.Errorf("V-PATCH sizes = %+v", inf)
+	}
+	blob, _ := v.Serialize()
+	if inf.SerializedBytes != len(blob) {
+		t.Errorf("SerializedBytes %d, Serialize len %d", inf.SerializedBytes, len(blob))
+	}
+	if s := inf.String(); s == "" {
+		t.Error("empty Info string")
+	}
+
+	ac, err := Compile(set, Options{Algorithm: AlgoAhoCorasick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf := ac.Info(); inf.VectorWidth != 0 || inf.MemoryBytes <= 0 {
+		t.Errorf("AC info = %+v", inf)
+	}
+}
+
+// FuzzDeserialize feeds arbitrary bytes to the database loader: any
+// input must produce an engine or an error — never a panic and never
+// an allocation beyond the input's own size class. Seeds include valid
+// databases of several algorithms so mutations explore deep decode
+// paths.
+func FuzzDeserialize(f *testing.F) {
+	set := PatternSetFromStrings("fuzz", "GE", "x", "pattern-long-enough")
+	setN := randomSet(rand.New(rand.NewSource(11)), 25)
+	for _, alg := range []Algorithm{AlgoVPatch, AlgoAhoCorasick, AlgoWuManber, AlgoFFBF} {
+		for _, s := range []*PatternSet{set, setN} {
+			if eng, err := Compile(s, Options{Algorithm: alg}); err == nil {
+				if blob, err := eng.Serialize(); err == nil {
+					f.Add(blob)
+				}
+			}
+		}
+	}
+	// Seed the engine-section corpus with each algorithm's real encoded
+	// state, so mutations start from deep inside the decoders.
+	for _, alg := range dbAlgorithms {
+		if eng, err := Compile(set, Options{Algorithm: alg}); err == nil {
+			if blob, err := eng.Serialize(); err == nil {
+				if _, secs, err := dbfmt.Decode(blob); err == nil {
+					f.Add(dbfmt.FindSection(secs, dbfmt.TagEngine))
+				}
+			}
+		}
+	}
+	f.Add([]byte("VPDB"))
+	f.Add([]byte{})
+
+	// A fixed valid pattern section + digest: re-wrapping fuzz data as
+	// the engine section with a fresh CRC drives arbitrary bytes past
+	// the container checks into every algorithm's state decoder.
+	var pe dbfmt.Encoder
+	patterns.EncodeSet(&pe, set)
+	psec := pe.Bytes()
+	digest := set.Digest()
+	scanProbe := []byte("GET /fuzz pattern-long-enough xx\x00\x01")
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if eng, err := Deserialize(data); err == nil {
+			// A database that decodes must also scan without panicking.
+			eng.Scan(scanProbe, nil, func(Match) {})
+		}
+		for alg := AlgoVPatch; alg <= AlgoFFBF; alg++ {
+			width := uint8(0)
+			if alg == AlgoVPatch || alg == AlgoVectorDFC {
+				width = 8
+			}
+			blob := dbfmt.Encode(
+				dbfmt.Header{Kind: dbfmt.KindEngine, Algorithm: uint8(alg), Width: width, Digest: digest},
+				[]dbfmt.Section{
+					{Tag: dbfmt.TagPatterns, Data: psec},
+					{Tag: dbfmt.TagEngine, Data: data},
+				})
+			if eng, err := Deserialize(blob); err == nil {
+				eng.Scan(scanProbe, nil, func(Match) {})
+			}
+		}
+	})
+}

@@ -7,6 +7,12 @@
 // matches surface as alerts with flow context and absolute stream
 // offsets.
 //
+// The compiled rule groups serialize as one database file
+// (Engine.WriteDB / ReadDB), so production deployments compile the
+// rule set offline once — `vpatch-compile -ids` — and every worker
+// process loads it at startup instead of recompiling five overlapping
+// group subsets.
+//
 // Rule groups are compiled exactly once, into immutable vpatch.Engines.
 // The Engine type wraps one single-goroutine Shard for the common case;
 // multi-core deployments call NewShard once per worker goroutine — every
@@ -234,6 +240,18 @@ func (s *Shard) SetWatermarks(maxBufs, maxBytes int) {
 	if maxBytes > 0 {
 		s.maxBatchBytes = maxBytes
 	}
+}
+
+// Set returns the full rule set the engine's groups were compiled from.
+func (e *Engine) Set() *vpatch.PatternSet { return e.set }
+
+// Algorithm returns the matching algorithm the rule groups were
+// compiled with (all groups share one).
+func (e *Engine) Algorithm() vpatch.Algorithm {
+	for _, g := range e.groups {
+		return g.eng.Algorithm()
+	}
+	return 0
 }
 
 // GroupSizes reports the number of patterns compiled per protocol group.

@@ -1,0 +1,281 @@
+package ahocorasick
+
+import (
+	"vpatch/internal/dbfmt"
+	"vpatch/internal/engine"
+	"vpatch/internal/patterns"
+)
+
+// Compiled-database serialization for the Aho-Corasick automaton. This
+// is the structure offline compilation pays off most for: building the
+// automaton walks a pointer-chasing trie plus a BFS over every state,
+// while loading it back is a handful of flat array reads. All three
+// representations (full matrix, sparse, banded) serialize; the loader
+// restores exactly the representation that was compiled.
+//
+// Every state index and pattern ID in the file is validated against the
+// decoded automaton's bounds before the matcher is returned, since the
+// scan loops index these arrays without checks.
+
+var _ engine.DBCodec = (*Matcher)(nil)
+
+// Representation kind bytes.
+const (
+	repFull   = 0
+	repSparse = 1
+	repBanded = 2
+)
+
+// EncodeCompiled appends the automaton (engine.DBCodec).
+func (m *Matcher) EncodeCompiled(e *dbfmt.Encoder) {
+	e.Bool(m.folded)
+	e.Uvarint(uint64(m.states))
+
+	// Outputs: per-state counts, then the pattern IDs flattened.
+	total := 0
+	for _, out := range m.outputs {
+		e.Uvarint(uint64(len(out)))
+		total += len(out)
+	}
+	flat := make([]int32, 0, total)
+	for _, out := range m.outputs {
+		flat = append(flat, out...)
+	}
+	e.Int32s(flat)
+
+	switch {
+	case m.full:
+		e.U8(repFull)
+		e.Int32s(m.next)
+	case m.banded:
+		e.U8(repBanded)
+		e.Int32s(m.rootRow)
+		totalBand := 0
+		for i := range m.bands {
+			b := &m.bands[i]
+			e.Uvarint(uint64(len(b.next)))
+			if len(b.next) > 0 {
+				e.U8(b.lo)
+			}
+			totalBand += len(b.next)
+		}
+		flatBands := make([]int32, 0, totalBand)
+		for i := range m.bands {
+			flatBands = append(flatBands, m.bands[i].next...)
+		}
+		e.Int32s(flatBands)
+	default:
+		e.U8(repSparse)
+		e.Int32s(m.fail)
+		totalLab := 0
+		for _, ls := range m.labels {
+			e.Uvarint(uint64(len(ls)))
+			totalLab += len(ls)
+		}
+		flatLabels := make([]byte, 0, totalLab)
+		flatTargets := make([]int32, 0, totalLab)
+		for s := range m.labels {
+			flatLabels = append(flatLabels, m.labels[s]...)
+			flatTargets = append(flatTargets, m.targets[s]...)
+		}
+		e.Blob(flatLabels)
+		e.Int32s(flatTargets)
+	}
+}
+
+// Decode restores an Aho-Corasick engine over set.
+func Decode(d *dbfmt.Decoder, set *patterns.Set) (*Matcher, error) {
+	m := &Matcher{set: set}
+	m.folded = d.Bool()
+	states := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	// Every state contributes at least one byte of output counts, so the
+	// state count is bounded by the remaining input.
+	if states < 1 || states > uint64(d.Remaining()) {
+		d.Fail("automaton state count %d invalid", states)
+		return nil, d.Err()
+	}
+	m.states = int(states)
+	nPat := int32(set.Len())
+
+	counts := make([]int, m.states)
+	total := 0
+	for s := range counts {
+		n := d.CountAtMost(d.Remaining())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		counts[s] = n
+		total += n
+	}
+	flat := d.Int32s()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if len(flat) != total {
+		d.Fail("outputs have %d ids, counts claim %d", len(flat), total)
+		return nil, d.Err()
+	}
+	for _, id := range flat {
+		if id < 0 || id >= nPat {
+			d.Fail("output pattern id %d out of range [0,%d)", id, nPat)
+			return nil, d.Err()
+		}
+	}
+	m.outputs = make([][]int32, m.states)
+	off := 0
+	for s := range counts {
+		if counts[s] > 0 {
+			m.outputs[s] = flat[off : off+counts[s] : off+counts[s]]
+			off += counts[s]
+		}
+	}
+
+	switch rep := d.U8(); rep {
+	case repFull:
+		m.decodeFull(d)
+	case repSparse:
+		m.decodeSparse(d)
+	case repBanded:
+		m.decodeBanded(d)
+	default:
+		d.Fail("unknown automaton representation %d", rep)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// checkStates validates that every value of v is a state index.
+func (m *Matcher) checkStates(d *dbfmt.Decoder, v []int32, what string) {
+	limit := int32(m.states)
+	for _, s := range v {
+		if s < 0 || s >= limit {
+			d.Fail("%s state %d out of range [0,%d)", what, s, limit)
+			return
+		}
+	}
+}
+
+func (m *Matcher) decodeFull(d *dbfmt.Decoder) {
+	m.full = true
+	// The matrix dominates the database (1 KB per state), so decode and
+	// validate in a single fused pass over the raw cells.
+	n := d.Count(4)
+	raw := d.Raw(n * 4)
+	if d.Err() != nil {
+		return
+	}
+	if n != m.states*256 {
+		d.Fail("full matrix has %d cells, want %d", n, m.states*256)
+		return
+	}
+	m.next = make([]int32, n)
+	limit := uint32(m.states)
+	for i := range m.next {
+		b := raw[i*4:]
+		v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+		if v >= limit {
+			d.Fail("matrix state %d out of range [0,%d)", int32(v), limit)
+			return
+		}
+		m.next[i] = int32(v)
+	}
+}
+
+func (m *Matcher) decodeSparse(d *dbfmt.Decoder) {
+	m.fail = d.Int32s()
+	counts := make([]int, m.states)
+	total := 0
+	for s := range counts {
+		n := d.CountAtMost(256)
+		if d.Err() != nil {
+			return
+		}
+		counts[s] = n
+		total += n
+	}
+	flatLabels := d.Blob()
+	flatTargets := d.Int32s()
+	if d.Err() != nil {
+		return
+	}
+	if len(m.fail) != m.states {
+		d.Fail("failure links cover %d states, want %d", len(m.fail), m.states)
+		return
+	}
+	if len(flatLabels) != total || len(flatTargets) != total {
+		d.Fail("sparse edges have %d labels / %d targets, counts claim %d",
+			len(flatLabels), len(flatTargets), total)
+		return
+	}
+	m.checkStates(d, m.fail, "failure")
+	m.checkStates(d, flatTargets, "edge")
+	if d.Err() != nil {
+		return
+	}
+	m.labels = make([][]byte, m.states)
+	m.targets = make([][]int32, m.states)
+	off := 0
+	for s := range counts {
+		if counts[s] == 0 {
+			continue
+		}
+		m.labels[s] = flatLabels[off : off+counts[s] : off+counts[s]]
+		m.targets[s] = flatTargets[off : off+counts[s] : off+counts[s]]
+		off += counts[s]
+	}
+}
+
+func (m *Matcher) decodeBanded(d *dbfmt.Decoder) {
+	m.banded = true
+	m.rootRow = d.Int32s()
+	lens := make([]int, m.states)
+	los := make([]uint8, m.states)
+	total := 0
+	for s := range lens {
+		n := d.CountAtMost(256)
+		if d.Err() != nil {
+			return
+		}
+		if n > 0 {
+			lo := d.U8()
+			if n > 256-int(lo) {
+				d.Fail("band [%d,%d) exceeds the byte range", lo, int(lo)+n)
+				return
+			}
+			los[s] = lo
+		}
+		lens[s] = n
+		total += n
+	}
+	flat := d.Int32s()
+	if d.Err() != nil {
+		return
+	}
+	if len(m.rootRow) != 256 {
+		d.Fail("root row has %d cells, want 256", len(m.rootRow))
+		return
+	}
+	if len(flat) != total {
+		d.Fail("bands have %d cells, lengths claim %d", len(flat), total)
+		return
+	}
+	m.checkStates(d, m.rootRow, "root row")
+	m.checkStates(d, flat, "band")
+	if d.Err() != nil {
+		return
+	}
+	m.bands = make([]bandedRow, m.states)
+	off := 0
+	for s := range lens {
+		if lens[s] == 0 {
+			continue
+		}
+		m.bands[s] = bandedRow{lo: los[s], next: flat[off : off+lens[s] : off+lens[s]]}
+		off += lens[s]
+	}
+}

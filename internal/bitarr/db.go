@@ -1,0 +1,63 @@
+package bitarr
+
+import (
+	"math/bits"
+
+	"vpatch/internal/dbfmt"
+)
+
+// Wire encoding of the filter structures. A bit array serializes as its
+// log2 size plus its raw storage bytes; decoding validates the size
+// range New enforces and that exactly the right number of storage bytes
+// follows, then adopts the bytes without copying (decoder buffers are
+// read-only by contract, matching the filters' immutability). The
+// merged filter is never serialized — it is a pure function of filters
+// 1 and 2 and is rebuilt in microseconds at load.
+
+// Encode appends the bit array (log2 size + storage).
+func (b *BitArray) Encode(e *dbfmt.Encoder) {
+	e.U8(uint8(bits.Len32(b.idxMask))) // log2(bits): mask is 2^n-1
+	e.Raw(b.bytes)
+}
+
+// DecodeBitArray restores a bit array encoded by Encode.
+func DecodeBitArray(d *dbfmt.Decoder) *BitArray {
+	log2 := uint(d.U8())
+	if d.Err() != nil {
+		return nil
+	}
+	if log2 < 3 || log2 > 31 {
+		d.Fail("bit array log2 size %d out of range [3,31]", log2)
+		return nil
+	}
+	storage := d.Raw(1 << (log2 - 3))
+	if storage == nil {
+		return nil
+	}
+	return &BitArray{bytes: storage, idxMask: uint32(1<<log2 - 1)}
+}
+
+// DecodeDirectFilter16 restores a direct filter, additionally requiring
+// the fixed 2^16-bit size every direct filter has.
+func DecodeDirectFilter16(d *dbfmt.Decoder) *DirectFilter16 {
+	b := DecodeBitArray(d)
+	if b == nil {
+		return nil
+	}
+	if b.Bits() != 1<<16 {
+		d.Fail("direct filter has %d bits, want %d", b.Bits(), 1<<16)
+		return nil
+	}
+	return &DirectFilter16{BitArray: *b}
+}
+
+// DecodeHashFilter restores a hash filter; the hash downshift is
+// recomputed from the size rather than trusted from the file.
+func DecodeHashFilter(d *dbfmt.Decoder) *HashFilter {
+	b := DecodeBitArray(d)
+	if b == nil {
+		return nil
+	}
+	log2 := uint(bits.Len32(b.idxMask))
+	return &HashFilter{BitArray: *b, shift: uint32(32 - log2)}
+}

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"vpatch/internal/dbfmt"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
 )
@@ -35,6 +36,28 @@ type Engine interface {
 	// every occurrence of every pattern. Calls with distinct scratches
 	// may run concurrently; c and emit may be nil.
 	ScanScratch(scr Scratch, input []byte, c *metrics.Counters, emit patterns.EmitFunc)
+}
+
+// DBCodec extends Engine with compiled-database serialization: the
+// engine flattens its entire compiled state — everything Scan reads
+// except the pattern set, which the database container serializes
+// separately — into an Encoder. Every engine in this repository
+// implements DBCodec; the matching decoder is a package-level function
+// (the decode side cannot be a method, it constructs the engine).
+// Decoders restore an engine that is scan-for-scan identical to the one
+// encoded, including batch paths, and validate every array bound so a
+// corrupt section yields an error, never a panic.
+type DBCodec interface {
+	Engine
+	// EncodeCompiled appends the engine's compiled state to e.
+	EncodeCompiled(e *dbfmt.Encoder)
+}
+
+// Sizer is implemented by engines that can report the resident size of
+// their compiled state (filters, automata, verification tables). Used
+// by the public Engine.Info.
+type Sizer interface {
+	MemoryFootprint() int
 }
 
 // BatchEmitFunc receives matches found by a batch scan: buf is the

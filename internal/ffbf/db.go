@@ -1,0 +1,79 @@
+package ffbf
+
+import (
+	"math/bits"
+
+	"vpatch/internal/bitarr"
+	"vpatch/internal/dbfmt"
+	"vpatch/internal/engine"
+	"vpatch/internal/hashtab"
+	"vpatch/internal/patterns"
+)
+
+// Compiled-database serialization for FFBF: the Bloom filter, the
+// short-pattern direct filter, both verifiers, and the per-pattern
+// Bloom bit lists that power the feed-forward reduction.
+
+var _ engine.DBCodec = (*Matcher)(nil)
+
+// EncodeCompiled appends the matcher's compiled state (engine.DBCodec).
+func (m *Matcher) EncodeCompiled(e *dbfmt.Encoder) {
+	e.Bool(m.foldedProbe)
+	e.Bool(m.hasShort)
+	e.Bool(m.hasLong)
+	e.Bool(m.hasLen1)
+	m.bloom.Encode(e)
+	m.shortFilter.BitArray.Encode(e)
+	m.longVerify.Encode(e)
+	m.shortVerify.Encode(e)
+	e.Int32s(m.longIDs)
+	flat := make([]uint32, 0, len(m.longBits)*numHashes)
+	for _, h := range m.longBits {
+		flat = append(flat, h[0], h[1], h[2])
+	}
+	e.Uint32s(flat)
+}
+
+// Decode restores an FFBF engine over set.
+func Decode(d *dbfmt.Decoder, set *patterns.Set) (*Matcher, error) {
+	m := &Matcher{set: set}
+	nPat := int32(set.Len())
+	m.foldedProbe = d.Bool()
+	m.hasShort = d.Bool()
+	m.hasLong = d.Bool()
+	m.hasLen1 = d.Bool()
+	m.bloom = bitarr.DecodeBitArray(d)
+	sf := bitarr.DecodeDirectFilter16(d)
+	m.longVerify = hashtab.DecodeVerifier(d, set)
+	m.shortVerify = hashtab.DecodeVerifier(d, set)
+	m.longIDs = d.Int32s()
+	flat := d.Uint32s()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	m.shortFilter = sf
+	m.log2bits = uint(bits.Len32(m.bloom.Mask()))
+	for _, id := range m.longIDs {
+		if id < 0 || id >= nPat {
+			d.Fail("long pattern id %d out of range [0,%d)", id, nPat)
+			return nil, d.Err()
+		}
+	}
+	if len(flat) != len(m.longIDs)*numHashes {
+		d.Fail("bloom bit list has %d entries, want %d", len(flat), len(m.longIDs)*numHashes)
+		return nil, d.Err()
+	}
+	m.longBits = make([][numHashes]uint32, len(m.longIDs))
+	for i := range m.longBits {
+		m.longBits[i] = [numHashes]uint32{flat[i*3], flat[i*3+1], flat[i*3+2]}
+	}
+	return m, nil
+}
+
+// MemoryFootprint reports resident bytes of the compiled state
+// (engine.Sizer).
+func (m *Matcher) MemoryFootprint() int {
+	return m.bloom.SizeBytes() + m.shortFilter.SizeBytes() +
+		m.longVerify.MemoryFootprint() + m.shortVerify.MemoryFootprint() +
+		len(m.longIDs)*4 + len(m.longBits)*numHashes*4
+}

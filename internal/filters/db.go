@@ -1,0 +1,65 @@
+package filters
+
+import (
+	"vpatch/internal/bitarr"
+	"vpatch/internal/dbfmt"
+)
+
+// Wire encoding of the filter stages. The merged filter-1/filter-2
+// interleaving is not stored — it is recomputed from the two source
+// filters at load time (a 16 KB pass), keeping the database free of
+// derived state.
+
+// Encode appends the S-PATCH filter stage.
+func (fs *SPatchSet) Encode(e *dbfmt.Encoder) {
+	fs.Filter1.BitArray.Encode(e)
+	fs.Filter2.BitArray.Encode(e)
+	fs.Filter3.BitArray.Encode(e)
+	e.Bool(fs.HasShort)
+	e.Bool(fs.HasLong)
+	e.Bool(fs.HasLen1)
+}
+
+// DecodeSPatch restores an S-PATCH filter stage, rebuilding the merged
+// interleaving.
+func DecodeSPatch(d *dbfmt.Decoder) *SPatchSet {
+	fs := &SPatchSet{
+		Filter1: bitarr.DecodeDirectFilter16(d),
+		Filter2: bitarr.DecodeDirectFilter16(d),
+		Filter3: bitarr.DecodeHashFilter(d),
+	}
+	fs.HasShort = d.Bool()
+	fs.HasLong = d.Bool()
+	fs.HasLen1 = d.Bool()
+	if d.Err() != nil {
+		return nil
+	}
+	fs.Merged = bitarr.NewMergedFilter(&fs.Filter1.BitArray, &fs.Filter2.BitArray)
+	return fs
+}
+
+// Encode appends the DFC filter stage.
+func (fs *DFCSet) Encode(e *dbfmt.Encoder) {
+	fs.Initial.BitArray.Encode(e)
+	fs.Long.BitArray.Encode(e)
+	fs.LongNext.BitArray.Encode(e)
+	e.Bool(fs.HasShort)
+	e.Bool(fs.HasLong)
+	e.Bool(fs.HasLen1)
+}
+
+// DecodeDFC restores a DFC filter stage.
+func DecodeDFC(d *dbfmt.Decoder) *DFCSet {
+	fs := &DFCSet{
+		Initial:  bitarr.DecodeDirectFilter16(d),
+		Long:     bitarr.DecodeDirectFilter16(d),
+		LongNext: bitarr.DecodeDirectFilter16(d),
+	}
+	fs.HasShort = d.Bool()
+	fs.HasLong = d.Bool()
+	fs.HasLen1 = d.Bool()
+	if d.Err() != nil {
+		return nil
+	}
+	return fs
+}

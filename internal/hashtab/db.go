@@ -1,0 +1,129 @@
+package hashtab
+
+import (
+	"math/bits"
+
+	"vpatch/internal/dbfmt"
+	"vpatch/internal/patterns"
+)
+
+// Wire encoding of the verification tables. Chain tables serialize as
+// their bucket-count log2 plus the (key, id) pairs in bucket-major
+// order; decoding relays the pairs through the same CSR construction
+// the fresh build uses, so every structural invariant (offsets
+// monotonic, entries in their hashed bucket) holds by construction and
+// only the pattern IDs need validating against the set.
+
+// Encode appends the verifier's compiled state (everything except the
+// pattern set, which the database serializes separately).
+func (v *Verifier) Encode(e *dbfmt.Encoder) {
+	e.Bool(v.hasNocaseShort)
+	e.Bool(v.hasNocaseLong)
+	encodeShortTable(e, &v.shortCS)
+	encodeShortTable(e, &v.shortCI)
+	encodeChainTable(e, &v.longCS.prefix4)
+	encodeChainTable(e, &v.longCI.prefix4)
+}
+
+// DecodeVerifier restores a verifier over set.
+func DecodeVerifier(d *dbfmt.Decoder, set *patterns.Set) *Verifier {
+	v := &Verifier{set: set}
+	n := int32(set.Len())
+	v.hasNocaseShort = d.Bool()
+	v.hasNocaseLong = d.Bool()
+	decodeShortTable(d, &v.shortCS, n)
+	decodeShortTable(d, &v.shortCI, n)
+	v.longCS.prefix4 = decodeChainTable(d, n)
+	v.longCI.prefix4 = decodeChainTable(d, n)
+	if d.Err() != nil {
+		return nil
+	}
+	return v
+}
+
+func encodeShortTable(e *dbfmt.Encoder, st *shortTable) {
+	// len1: 256 per-byte counts, then the IDs flattened.
+	total := 0
+	for b := range st.len1 {
+		e.Uvarint(uint64(len(st.len1[b])))
+		total += len(st.len1[b])
+	}
+	flat := make([]int32, 0, total)
+	for b := range st.len1 {
+		flat = append(flat, st.len1[b]...)
+	}
+	e.Int32s(flat)
+	encodeChainTable(e, &st.prefix2)
+}
+
+func decodeShortTable(d *dbfmt.Decoder, st *shortTable, nPatterns int32) {
+	var counts [256]int
+	total := 0
+	for b := range counts {
+		n := d.CountAtMost(d.Remaining())
+		if d.Err() != nil {
+			return
+		}
+		counts[b] = n
+		total += n
+	}
+	flat := d.Int32s()
+	if d.Err() != nil {
+		return
+	}
+	if len(flat) != total {
+		d.Fail("len1 table has %d ids, counts claim %d", len(flat), total)
+		return
+	}
+	off := 0
+	for b := range counts {
+		if counts[b] == 0 {
+			continue
+		}
+		ids := flat[off : off+counts[b] : off+counts[b]]
+		off += counts[b]
+		for _, id := range ids {
+			if id < 0 || id >= nPatterns {
+				d.Fail("len1 pattern id %d out of range [0,%d)", id, nPatterns)
+				return
+			}
+		}
+		st.len1[b] = ids
+	}
+	st.prefix2 = decodeChainTable(d, nPatterns)
+}
+
+func encodeChainTable(e *dbfmt.Encoder, t *chainTable) {
+	e.U8(uint8(bits.Len32(t.mask))) // log2(bucket count)
+	e.Uvarint(uint64(len(t.entries)))
+	for _, ent := range t.entries {
+		e.U32(ent.key)
+		e.U32(uint32(ent.id))
+	}
+}
+
+func decodeChainTable(d *dbfmt.Decoder, nPatterns int32) chainTable {
+	log2 := int(d.U8())
+	n := d.Count(8)
+	raw := d.Raw(n * 8)
+	if d.Err() != nil {
+		return chainTable{}
+	}
+	if log2 < 4 || log2 > 28 {
+		d.Fail("chain table log2 size %d out of range [4,28]", log2)
+		return chainTable{}
+	}
+	ents := make([]entry, n)
+	for i := range ents {
+		b := raw[i*8:]
+		ents[i] = entry{
+			key: uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24,
+			id:  int32(uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24),
+		}
+		if ents[i].id < 0 || ents[i].id >= nPatterns {
+			d.Fail("chain table pattern id %d out of range [0,%d)", ents[i].id, nPatterns)
+			return chainTable{}
+		}
+	}
+	return buildChainTable(1<<log2, ents)
+}

@@ -53,8 +53,14 @@ type longTable struct {
 // chainTable is a power-of-two bucketed table mapping a uint32 key to the
 // pattern IDs whose prefix produced that key. Entries keep the key for a
 // cheap reject before the full pattern comparison.
+//
+// Storage is flat CSR: bucket s is entries[starts[s]:starts[s+1]]. One
+// contiguous entry array probes with a single dependent load instead of
+// chasing a per-bucket slice header, and serializes into a compiled
+// database as two raw arrays.
 type chainTable struct {
-	buckets [][]entry
+	starts  []uint32 // len = bucket count + 1
+	entries []entry
 	mask    uint32
 	shift   uint32 // multiplicative-hash downshift
 }
@@ -64,39 +70,61 @@ type entry struct {
 	id  int32
 }
 
-func newChainTable(expected int) chainTable {
+// chainSize returns the bucket count for an expected entry count:
+// double the entries, minimum 16, rounded up to a power of two.
+func chainSize(expected int) int {
 	n := expected * 2
 	if n < 16 {
 		n = 16
 	}
-	size := 1 << bits.Len(uint(n-1))
-	return chainTable{
-		buckets: make([][]entry, size),
-		mask:    uint32(size - 1),
-		shift:   uint32(32 - bits.Len(uint(size-1))),
+	return 1 << bits.Len(uint(n-1))
+}
+
+// buildChainTable lays out the CSR table for entries over size buckets
+// (a power of two). Entries keep their relative order within each
+// bucket, so probe results are deterministic in insertion order.
+func buildChainTable(size int, ents []entry) chainTable {
+	t := chainTable{
+		mask:  uint32(size - 1),
+		shift: uint32(32 - bits.Len(uint(size-1))),
 	}
+	t.starts = make([]uint32, size+1)
+	for i := range ents {
+		t.starts[t.slot(ents[i].key)+1]++
+	}
+	for s := 1; s <= size; s++ {
+		t.starts[s] += t.starts[s-1]
+	}
+	t.entries = make([]entry, len(ents))
+	// Fill using starts[s] as bucket s's cursor; each placement advances
+	// it, so afterwards starts is shifted one bucket left and one
+	// overlapping copy restores it (saves a separate cursor array).
+	for i := range ents {
+		s := t.slot(ents[i].key)
+		t.entries[t.starts[s]] = ents[i]
+		t.starts[s]++
+	}
+	copy(t.starts[1:], t.starts[:size])
+	t.starts[0] = 0
+	return t
 }
 
 func (t *chainTable) slot(key uint32) uint32 {
 	return (key * bitarr.MulHashConst) >> t.shift & t.mask
 }
 
-func (t *chainTable) add(key uint32, id int32) {
-	s := t.slot(key)
-	t.buckets[s] = append(t.buckets[s], entry{key: key, id: id})
-}
-
 // bucket returns the entry list for key; callers filter by entry.key.
 func (t *chainTable) bucket(key uint32) []entry {
-	return t.buckets[t.slot(key)]
+	s := t.slot(key)
+	return t.entries[t.starts[s]:t.starts[s+1]]
 }
 
 // maxBucketLen reports the longest chain (diagnostics / tests).
 func (t *chainTable) maxBucketLen() int {
 	m := 0
-	for _, b := range t.buckets {
-		if len(b) > m {
-			m = len(b)
+	for s := 0; s+1 < len(t.starts); s++ {
+		if n := int(t.starts[s+1] - t.starts[s]); n > m {
+			m = n
 		}
 	}
 	return m
@@ -111,21 +139,11 @@ func Build(set *patterns.Set) *Verifier { return BuildFiltered(set, nil) }
 // partition verification across pattern classes (e.g. FFBF's
 // shingle-length split) without re-identifying patterns.
 func BuildFiltered(set *patterns.Set, keep func(*patterns.Pattern) bool) *Verifier {
-	nShort, nLong := 0, 0
-	for i := range set.Patterns() {
-		if set.Patterns()[i].IsShort() {
-			nShort++
-		} else {
-			nLong++
-		}
-	}
-	v := &Verifier{
-		set:     set,
-		shortCS: shortTable{prefix2: newChainTable(nShort)},
-		shortCI: shortTable{prefix2: newChainTable(nShort)},
-		longCS:  longTable{prefix4: newChainTable(nLong)},
-		longCI:  longTable{prefix4: newChainTable(nLong)},
-	}
+	v := &Verifier{set: set}
+	// Collect (key, id) entries per table, then lay each table out flat,
+	// sized to its own population (the nocase tables are usually far
+	// smaller than their case-sensitive siblings).
+	var shortCS, shortCI, longCS, longCI []entry
 	pats := set.Patterns()
 	for i := range pats {
 		p := &pats[i]
@@ -143,21 +161,25 @@ func BuildFiltered(set *patterns.Set, keep func(*patterns.Pattern) bool) *Verifi
 		case len(p.Data) <= patterns.ShortMax:
 			key := bitarr.Index2(p.Data[0], p.Data[1])
 			if p.Nocase {
-				v.shortCI.prefix2.add(key, p.ID)
+				shortCI = append(shortCI, entry{key: key, id: p.ID})
 				v.hasNocaseShort = true
 			} else {
-				v.shortCS.prefix2.add(key, p.ID)
+				shortCS = append(shortCS, entry{key: key, id: p.ID})
 			}
 		default:
 			key := bitarr.Load4(p.Data)
 			if p.Nocase {
-				v.longCI.prefix4.add(key, p.ID)
+				longCI = append(longCI, entry{key: key, id: p.ID})
 				v.hasNocaseLong = true
 			} else {
-				v.longCS.prefix4.add(key, p.ID)
+				longCS = append(longCS, entry{key: key, id: p.ID})
 			}
 		}
 	}
+	v.shortCS.prefix2 = buildChainTable(chainSize(len(shortCS)), shortCS)
+	v.shortCI.prefix2 = buildChainTable(chainSize(len(shortCI)), shortCI)
+	v.longCS.prefix4 = buildChainTable(chainSize(len(longCS)), longCS)
+	v.longCI.prefix4 = buildChainTable(chainSize(len(longCI)), longCI)
 	return v
 }
 
@@ -249,16 +271,15 @@ func (v *Verifier) tryPattern(id int32, input []byte, pos int, c *metrics.Counte
 	}
 }
 
-// MemoryFootprint estimates the verifier's resident bytes: bucket headers
-// plus entries. The paper notes these tables exceed L1/L2 but typically
-// fit L3; the cost model charges long-table probes at L3/memory latency.
+// MemoryFootprint estimates the verifier's resident bytes: bucket
+// offsets plus entries. The paper notes these tables exceed L1/L2 but
+// typically fit L3; the cost model charges long-table probes at
+// L3/memory latency.
 func (v *Verifier) MemoryFootprint() int {
 	sz := 0
 	count := func(t *chainTable) {
-		sz += len(t.buckets) * 24 // slice header
-		for _, b := range t.buckets {
-			sz += len(b) * 8
-		}
+		sz += len(t.starts) * 4
+		sz += len(t.entries) * 8
 	}
 	count(&v.shortCS.prefix2)
 	count(&v.shortCI.prefix2)

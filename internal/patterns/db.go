@@ -1,0 +1,124 @@
+package patterns
+
+import (
+	"vpatch/internal/dbfmt"
+)
+
+// This file is the pattern set's half of the compiled-database format:
+// a digest that ties a database to the exact set it was compiled from,
+// and the set's own wire encoding. Decoding is built for the startup
+// path — all pattern bytes live in one shared backing array and the
+// dedup map is skipped (Add rebuilds it lazily if ever needed), so
+// restoring an ET-open-scale set is a metadata walk plus one copy.
+
+// Digest returns a 64-bit digest over the set's contents (order, data,
+// nocase, proto). Compiled databases store it in their header; the
+// load path recomputes it from the decoded set and rejects any
+// mismatch, so an engine can never be paired with the wrong rule set.
+//
+// The mixing is FNV-style but folds 8 input bytes per multiply — the
+// digest sits on the startup path (computed on every load), so it runs
+// word-wise over the pattern bytes rather than byte-at-a-time.
+func (s *Set) Digest() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	word := func(v uint64) {
+		h = (h ^ v) * prime
+	}
+	word(uint64(len(s.pats)))
+	for i := range s.pats {
+		p := &s.pats[i]
+		meta := uint64(len(p.Data))<<16 | uint64(p.Proto)<<8
+		if p.Nocase {
+			meta |= 1
+		}
+		word(meta)
+		d := p.Data
+		for len(d) >= 8 {
+			word(uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 | uint64(d[3])<<24 |
+				uint64(d[4])<<32 | uint64(d[5])<<40 | uint64(d[6])<<48 | uint64(d[7])<<56)
+			d = d[8:]
+		}
+		if len(d) > 0 {
+			var tail uint64
+			for j, b := range d {
+				tail |= uint64(b) << (8 * j)
+			}
+			// Tag the tail with its length so "ab" + padding cannot
+			// collide with "ab\x00…" of a longer pattern.
+			word(tail ^ uint64(len(d))<<56)
+		}
+	}
+	return h
+}
+
+// EncodeSet appends the set's wire form: pattern count, per-pattern
+// metadata (length, nocase, proto), then all pattern bytes concatenated
+// in one blob.
+func EncodeSet(e *dbfmt.Encoder, s *Set) {
+	e.Uvarint(uint64(len(s.pats)))
+	total := 0
+	for i := range s.pats {
+		p := &s.pats[i]
+		e.Uvarint(uint64(len(p.Data)))
+		e.Bool(p.Nocase)
+		e.U8(uint8(p.Proto))
+		total += len(p.Data)
+	}
+	e.Uvarint(uint64(total))
+	for i := range s.pats {
+		e.Raw(s.pats[i].Data)
+	}
+}
+
+// DecodeSet restores a set encoded by EncodeSet. Pattern data is copied
+// into a single backing array; nocase data is re-folded so the stored
+// invariant holds even for hand-crafted inputs.
+func DecodeSet(d *dbfmt.Decoder) (*Set, error) {
+	// Each pattern costs at least 3 encoded bytes (length, nocase,
+	// proto), so the count check bounds the metadata allocation.
+	n := d.Count(3)
+	pats := make([]Pattern, n)
+	lens := make([]int, n)
+	total := 0
+	for i := range pats {
+		ln := d.Uvarint()
+		nocase := d.Bool()
+		proto := Protocol(d.U8())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if ln == 0 || ln > uint64(d.Remaining()) {
+			d.Fail("pattern %d: invalid length %d", i, ln)
+			return nil, d.Err()
+		}
+		pats[i] = Pattern{ID: int32(i), Nocase: nocase, Proto: proto}
+		lens[i] = int(ln)
+		total += int(ln)
+	}
+	blob := d.Blob()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if len(blob) != total {
+		d.Fail("pattern data blob is %d bytes, metadata claims %d", len(blob), total)
+		return nil, d.Err()
+	}
+	backing := make([]byte, total)
+	copy(backing, blob)
+	off := 0
+	for i := range pats {
+		data := backing[off : off+lens[i] : off+lens[i]]
+		off += lens[i]
+		if pats[i].Nocase {
+			for j, b := range data {
+				data[j] = FoldByte(b)
+			}
+		}
+		pats[i].Data = data
+	}
+	return &Set{pats: pats}, nil
+}

@@ -121,13 +121,23 @@ type EmitFunc func(Match)
 type Set struct {
 	pats []Pattern
 	// dedup guards against inserting the same (data, nocase) twice;
-	// duplicates would double-report every occurrence.
+	// duplicates would double-report every occurrence. Built lazily on
+	// the first Add, so sets restored from a compiled database (which
+	// are never added to) skip the map entirely.
 	seen map[string]int32
 }
 
 // NewSet returns an empty set.
 func NewSet() *Set {
 	return &Set{seen: make(map[string]int32)}
+}
+
+// dedupKey is the map key identifying a (data, nocase) pair.
+func dedupKey(data []byte, nocase bool) string {
+	if nocase {
+		return "i:" + string(data)
+	}
+	return "s:" + string(data)
 }
 
 // FromStrings builds a case-sensitive set from literal strings,
@@ -154,12 +164,14 @@ func (s *Set) Add(data []byte, nocase bool, proto Protocol) int32 {
 			d[i] = FoldByte(d[i])
 		}
 	}
-	key := string(d)
-	if nocase {
-		key = "i:" + key
-	} else {
-		key = "s:" + key
+	if s.seen == nil {
+		s.seen = make(map[string]int32, len(s.pats))
+		for i := range s.pats {
+			p := &s.pats[i]
+			s.seen[dedupKey(p.Data, p.Nocase)] = p.ID
+		}
 	}
+	key := dedupKey(d, nocase)
 	if id, ok := s.seen[key]; ok {
 		return id
 	}

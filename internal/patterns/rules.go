@@ -4,8 +4,43 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
+
+// LoadSetFile loads a pattern set from disk for the CLI tools: either
+// a Snort-style rules file (rulesPath) or a plain file with one
+// literal pattern per line (plainPath), exactly one of which must be
+// given. Shared by cmd/vpatch-match and cmd/vpatch-compile so the two
+// cannot drift.
+func LoadSetFile(rulesPath, plainPath string) (*Set, error) {
+	switch {
+	case rulesPath != "" && plainPath != "":
+		return nil, fmt.Errorf("use either -rules or -patterns, not both")
+	case rulesPath != "":
+		f, err := os.Open(rulesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ParseRules(f, ParseOptions{})
+	case plainPath != "":
+		f, err := os.Open(plainPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		set := NewSet()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				set.Add([]byte(line), false, ProtoGeneric)
+			}
+		}
+		return set, sc.Err()
+	}
+	return NewSet(), nil
+}
 
 // ParseOptions controls rule parsing.
 type ParseOptions struct {

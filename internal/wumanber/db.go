@@ -1,0 +1,146 @@
+package wumanber
+
+import (
+	"vpatch/internal/dbfmt"
+	"vpatch/internal/engine"
+	"vpatch/internal/patterns"
+)
+
+// Compiled-database serialization for Wu-Manber: the 128 KB shift
+// table as one raw array, the hash buckets sparsely (only non-empty
+// 2-byte block indexes), and the 1-byte-pattern tables.
+
+var _ engine.DBCodec = (*Matcher)(nil)
+
+// maxWindow bounds the deserialized window length; windows are minimum
+// pattern lengths, so anything beyond this is corruption.
+const maxWindow = 1 << 20
+
+// EncodeCompiled appends the matcher's compiled state (engine.DBCodec).
+func (m *Matcher) EncodeCompiled(e *dbfmt.Encoder) {
+	e.Bool(m.folded)
+	e.Bool(m.hasLen1)
+	e.Bool(m.hasBlock)
+
+	total := 0
+	for b := range m.len1 {
+		e.Uvarint(uint64(len(m.len1[b])))
+		total += len(m.len1[b])
+	}
+	flat := make([]int32, 0, total)
+	for b := range m.len1 {
+		flat = append(flat, m.len1[b]...)
+	}
+	e.Int32s(flat)
+
+	if !m.hasBlock {
+		return
+	}
+	e.Uvarint(uint64(m.m))
+	e.Uint16s(m.shift)
+	nonEmpty := 0
+	for _, b := range m.buckets {
+		if len(b) > 0 {
+			nonEmpty++
+		}
+	}
+	e.Uvarint(uint64(nonEmpty))
+	for idx, b := range m.buckets {
+		if len(b) > 0 {
+			e.Uvarint(uint64(idx))
+			e.Int32s(b)
+		}
+	}
+}
+
+// Decode restores a Wu-Manber engine over set.
+func Decode(d *dbfmt.Decoder, set *patterns.Set) (*Matcher, error) {
+	m := &Matcher{set: set}
+	nPat := int32(set.Len())
+	m.folded = d.Bool()
+	m.hasLen1 = d.Bool()
+	m.hasBlock = d.Bool()
+
+	var counts [256]int
+	total := 0
+	for b := range counts {
+		n := d.CountAtMost(d.Remaining())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		counts[b] = n
+		total += n
+	}
+	flat := d.Int32s()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if len(flat) != total {
+		d.Fail("len1 table has %d ids, counts claim %d", len(flat), total)
+		return nil, d.Err()
+	}
+	for _, id := range flat {
+		if id < 0 || id >= nPat {
+			d.Fail("len1 pattern id %d out of range [0,%d)", id, nPat)
+			return nil, d.Err()
+		}
+	}
+	off := 0
+	for b := range counts {
+		if counts[b] > 0 {
+			m.len1[b] = flat[off : off+counts[b] : off+counts[b]]
+			off += counts[b]
+		}
+	}
+
+	if !m.hasBlock {
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+
+	win := d.Uvarint()
+	m.shift = d.Uint16s()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if win < blockSize || win > maxWindow {
+		d.Fail("window length %d out of range [%d,%d]", win, blockSize, maxWindow)
+		return nil, d.Err()
+	}
+	m.m = int(win)
+	if len(m.shift) != 1<<16 {
+		d.Fail("shift table has %d entries, want %d", len(m.shift), 1<<16)
+		return nil, d.Err()
+	}
+	m.buckets = make([][]int32, 1<<16)
+	nBuckets := d.CountAtMost(1 << 16)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	prev := -1
+	for i := 0; i < nBuckets; i++ {
+		idx := d.CountAtMost(1<<16 - 1)
+		ids := d.Int32s()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if idx <= prev {
+			d.Fail("bucket index %d out of order", idx)
+			return nil, d.Err()
+		}
+		prev = idx
+		for _, id := range ids {
+			if id < 0 || id >= nPat {
+				d.Fail("bucket pattern id %d out of range [0,%d)", id, nPat)
+				return nil, d.Err()
+			}
+		}
+		m.buckets[idx] = ids
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -37,6 +37,15 @@
 // vector lane (refilling drained lanes from the pending queue), so lane
 // occupancy no longer collapses on small inputs. See the README's batch
 // scanning section for when to batch and how to tune watermarks.
+//
+// Production rule sets are compiled offline: Engine.Serialize/WriteTo
+// flatten the compiled state into a versioned, checksummed database
+// that Deserialize/ReadFrom restore at startup without recompiling —
+// match-identical, goroutine-safe, and an order of magnitude faster
+// than Compile for automaton-heavy engines like Aho-Corasick. The
+// cmd/vpatch-compile tool is the offline compiler; see the README's
+// offline-compilation section for the workflow and the format
+// compatibility policy.
 package vpatch
 
 import (
