@@ -105,7 +105,9 @@ func main() {
 			}
 			streams[key] = gen(per, *seed+int64(i))
 		}
-		segs := netsim.Packetize(streams, netsim.PacketizeOptions{Seed: *seed, Jitter: 3})
+		// FIN-terminate every flow, as real captures do, so the IDS
+		// pipeline's connection teardown runs on generated captures.
+		segs := netsim.Packetize(streams, netsim.PacketizeOptions{Seed: *seed, Jitter: 3, FIN: true})
 		if err := netsim.WritePcap(f, segs); err != nil {
 			fatal(err)
 		}

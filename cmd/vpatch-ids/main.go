@@ -1,15 +1,24 @@
 // Command vpatch-ids runs the full NIDS pipeline over a pcap capture:
-// flow reassembly, per-service rule groups, and multi-pattern matching
-// with any of the library's engines.
+// flow reassembly with lifecycle management, per-service rule groups,
+// and multi-pattern matching with any of the library's engines.
 //
 // Usage:
 //
 //	vpatch-ids -rules web.rules -pcap capture.pcap
 //	vpatch-ids -rules web.rules -pcap capture.pcap -algo dfc -top 10
 //	vpatch-ids -db all-groups.vpdb -pcap capture.pcap
+//	vpatch-ids -rules web.rules -pcap capture.pcap -shards 8 -max-flows 65536
 //
 // -db loads a precompiled rule-group database written by
 // `vpatch-compile -ids` instead of compiling the rules at startup.
+//
+// -shards N hash-partitions flows across N worker goroutines (each with
+// its own reassembler and scan sessions over the shared compiled
+// groups); per-shard lifecycle stats are merged at exit. -max-flows,
+// -flow-timeout, -flow-pending and -total-pending bound the pipeline's
+// memory per shard — flows idle past the timeout (on the capture clock)
+// or beyond the cap are evicted, over-budget out-of-order bytes are
+// dropped, and the counts are reported.
 //
 // Captures can be produced with `vpatch-gen -pcap` or any tool writing
 // classic little-endian libpcap Ethernet captures in the shape netsim
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"vpatch"
@@ -35,10 +45,22 @@ func main() {
 	pcapPath := flag.String("pcap", "", "libpcap capture to analyze (required)")
 	algoName := flag.String("algo", "vpatch", "matching engine: vpatch spatch dfc vectordfc ac wumanber ffbf")
 	top := flag.Int("top", 5, "print the N most-alerting rules")
+	shards := flag.Int("shards", 1, "worker shards (flows hash-partitioned across goroutines)")
+	maxFlows := flag.Int("max-flows", 1<<20, "per-shard cap on tracked flows (0 = unlimited)")
+	flowTimeout := flag.Duration("flow-timeout", 60*time.Second, "evict flows idle this long on the capture clock (0 = never)")
+	flowPending := flag.Int("flow-pending", 256<<10, "per-flow out-of-order byte budget (0 = unlimited)")
+	totalPending := flag.Int("total-pending", 64<<20, "per-shard out-of-order byte budget (0 = unlimited)")
+	showMetrics := flag.Bool("metrics", false, "instrument scans and print the merged matcher+lifecycle counters (costs a few %)")
 	flag.Parse()
 	if (*rulesPath == "") == (*dbPath == "") || *pcapPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	limits := netsim.Limits{
+		MaxFlows:          *maxFlows,
+		IdleTimeoutMicros: uint64(flowTimeout.Microseconds()),
+		FlowPendingBytes:  *flowPending,
+		TotalPendingBytes: *totalPending,
 	}
 
 	pf, err := os.Open(*pcapPath)
@@ -51,13 +73,18 @@ func main() {
 		fatal(err)
 	}
 
+	// The emit path must be safe for concurrent use: with -shards > 1
+	// every worker goroutine reports through it.
+	var mu sync.Mutex
 	perRule := map[int32]int{}
 	perFlow := map[netsim.FlowKey]int{}
 	total := 0
 	emit := func(a ids.Alert) {
+		mu.Lock()
 		total++
 		perRule[a.PatternID]++
 		perFlow[a.Flow]++
+		mu.Unlock()
 	}
 
 	var engine *ids.Engine
@@ -96,23 +123,54 @@ func main() {
 	set := engine.Set()
 
 	bytes := 0
-	start := time.Now()
 	for _, s := range segs {
 		bytes += len(s.Payload)
-		engine.HandleSegment(s)
 	}
-	engine.Flush() // drain partial per-group batches
+	var stats netsim.Stats
+	var counters vpatch.Counters
+	start := time.Now()
+	if *shards > 1 {
+		d := engine.NewDispatcher(*shards, limits, emit)
+		var perShard []*vpatch.Counters
+		if *showMetrics {
+			perShard = d.InstrumentCounters()
+		}
+		for _, s := range segs {
+			d.Handle(s)
+		}
+		stats = d.Close() // drains workers, merges per-shard stats
+		for _, c := range perShard {
+			counters.Add(c)
+		}
+	} else {
+		engine.SetLimits(limits)
+		if *showMetrics {
+			engine.SetCounters(&counters)
+		}
+		for _, s := range segs {
+			engine.HandleSegment(s)
+		}
+		engine.Flush() // drain partial per-group batches
+		stats = engine.Stats()
+	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("capture: %d segments, %d flows, %d payload bytes\n",
-		len(segs), engine.Flows(), bytes)
-	fmt.Printf("engine:  %s over %d rules in %d groups\n",
-		engine.Algorithm(), set.Len(), len(engine.GroupSizes()))
+	fmt.Printf("capture: %d segments, %d payload bytes\n", len(segs), bytes)
+	fmt.Printf("engine:  %s over %d rules in %d groups, %d shard(s)\n",
+		engine.Algorithm(), set.Len(), len(engine.GroupSizes()), *shards)
+	fmt.Printf("flows:   %d peak, %d closed, %d evicted, %d bytes dropped\n",
+		stats.PeakFlows, stats.FlowsClosed, stats.FlowsEvicted, stats.BytesDropped)
 	fmt.Printf("result:  %d alerts in %s (%.3f Gbps)\n",
 		total, elapsed.Round(time.Millisecond),
 		float64(bytes)*8/float64(elapsed.Nanoseconds()))
-	if n := engine.PendingBytes(); n > 0 {
-		fmt.Printf("warning: %d bytes stuck in reassembly (packet loss?)\n", n)
+	if stats.PendingBytes > 0 {
+		fmt.Printf("warning: %d bytes stuck in reassembly (packet loss?)\n", stats.PendingBytes)
+	}
+	if *showMetrics {
+		// One merged line: matcher event counters plus the lifecycle
+		// figures folded in (evicted/dropped/peakflows).
+		stats.MergeInto(&counters)
+		fmt.Printf("metrics: %s\n", &counters)
 	}
 
 	type rc struct {

@@ -89,7 +89,7 @@ func main() {
 	}
 
 	printed := 0
-	report := func(mm vpatch.Match) {
+	reportAt := func(pos int64, id int32) {
 		if *countOnly {
 			return
 		}
@@ -97,15 +97,22 @@ func main() {
 			return
 		}
 		printed++
-		p := set.Pattern(mm.PatternID)
-		fmt.Printf("offset %10d  pattern %5d  %q\n", mm.Pos, mm.PatternID, truncate(p.Data, 40))
+		p := set.Pattern(id)
+		fmt.Printf("offset %10d  pattern %5d  %q\n", pos, id, truncate(p.Data, 40))
 	}
+	report := func(mm vpatch.Match) { reportAt(int64(mm.Pos), mm.PatternID) }
+	reportStream := func(mm vpatch.StreamMatch) { reportAt(mm.Pos, mm.PatternID) }
 
 	start := time.Now()
 	var scanned int64
 	var total uint64
 	if *stream {
-		s, err := vpatch.NewStreamScanner(m, func(mm vpatch.Match) { total++; report(mm) })
+		// Session-backed scanner: stream offsets are 64-bit, so matches
+		// past 2 GiB of stdin report correct positions.
+		s, err := m.NewStreamScanner(func(mm vpatch.StreamMatch) {
+			total++
+			reportStream(mm)
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -42,7 +42,7 @@ func main() {
 	stream := traffic.Synthesize(traffic.ISCXDay6, 4<<20, 7, ruleSet)
 
 	var streamed uint64
-	scanner, err := single.NewStreamScanner(func(vpatch.Match) { streamed++ })
+	scanner, err := single.NewStreamScanner(func(vpatch.StreamMatch) { streamed++ })
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,113 @@
+package ids
+
+// Multi-shard dispatch: the capture loop stays single-goroutine (one
+// reader per NIC queue), while flows are hash-partitioned across N
+// worker shards, each running on its own goroutine. Reassembly and
+// scan state is strictly per-shard, so workers never contend on
+// anything but the compiled rule groups (immutable) and the caller's
+// alert sink.
+
+import (
+	"sync"
+
+	"vpatch"
+	"vpatch/internal/netsim"
+)
+
+// Dispatcher fans captured segments out to N worker shards by flow-key
+// hash. Handle is single-goroutine (the capture loop); the shards run
+// concurrently. Close drains the workers and merges their stats.
+type Dispatcher struct {
+	shards []*Shard
+	chans  []chan netsim.Segment
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// dispatchQueueLen is each worker's segment-channel buffer: deep enough
+// to ride out transient skew toward one shard without stalling the
+// capture loop, small enough to bound in-flight segment references.
+const dispatchQueueLen = 256
+
+// NewDispatcher starts n worker shards (each with limits armed) fed by
+// flow-key hash partitioning, delivering alerts to emit. emit is called
+// concurrently from the n worker goroutines and must be safe for
+// concurrent use; alerts of one flow always come from one worker, in
+// stream order. Close must be called to drain and stop the workers.
+func (e *Engine) NewDispatcher(n int, limits netsim.Limits, emit func(Alert)) *Dispatcher {
+	if n < 1 {
+		n = 1
+	}
+	if emit == nil {
+		panic("ids: nil alert sink")
+	}
+	d := &Dispatcher{
+		shards: make([]*Shard, n),
+		chans:  make([]chan netsim.Segment, n),
+	}
+	for i := 0; i < n; i++ {
+		sh := e.NewShard(emit)
+		sh.SetLimits(limits)
+		ch := make(chan netsim.Segment, dispatchQueueLen)
+		d.shards[i] = sh
+		d.chans[i] = ch
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for seg := range ch {
+				sh.HandleSegment(seg)
+			}
+			sh.Flush()
+		}()
+	}
+	return d
+}
+
+// Handle routes one captured segment to its flow's shard. Segments of
+// one flow always land on the same shard, so per-flow stream order is
+// preserved. Single-goroutine, like Engine.HandleSegment.
+//
+// The segment's payload is enqueued by reference: the capture loop must
+// not reuse the payload buffer until Close returns. (Replay loops that
+// do reuse buffers should copy before Handle; netsim.ReadPcap returns
+// per-segment buffers, so the pcap path needs no copy.)
+func (d *Dispatcher) Handle(seg netsim.Segment) {
+	d.chans[seg.Flow.Hash()%uint32(len(d.chans))] <- seg
+}
+
+// Shards returns the number of worker shards.
+func (d *Dispatcher) Shards() int { return len(d.shards) }
+
+// InstrumentCounters attaches a fresh scan-counter set to every worker
+// shard and returns them, index-aligned with the shards. It must be
+// called before the first Handle (the first segment's channel send
+// publishes the counters to its worker); read or merge the counters
+// only after Close. Instrumented scans cost a few percent of
+// throughput.
+func (d *Dispatcher) InstrumentCounters() []*vpatch.Counters {
+	cs := make([]*vpatch.Counters, len(d.shards))
+	for i, sh := range d.shards {
+		cs[i] = &vpatch.Counters{}
+		sh.SetCounters(cs[i])
+	}
+	return cs
+}
+
+// Close drains every worker (flushing partial batches, so all pending
+// alerts surface), stops the goroutines, and returns the per-shard
+// lifecycle stats merged. Close is idempotent; Handle must not be
+// called after it.
+func (d *Dispatcher) Close() netsim.Stats {
+	if !d.closed {
+		d.closed = true
+		for _, ch := range d.chans {
+			close(ch)
+		}
+		d.wg.Wait()
+	}
+	var st netsim.Stats
+	for _, sh := range d.shards {
+		st.Add(sh.Stats())
+	}
+	return st
+}

@@ -27,6 +27,21 @@
 // one Scan call each. Alerts therefore surface at flush time; call
 // Flush after the last segment (or on a latency deadline) to drain
 // partial batches.
+//
+// # Flow lifecycle and memory bounds
+//
+// Shards manage connection lifecycle so memory stays bounded on real
+// traffic: FIN/RST segments tear flows down (the flow's carry is
+// released; alerts from already-enqueued scan jobs still surface at the
+// next flush), and Shard.SetLimits arms a hard cap on tracked flows, an
+// idle timeout on the capture clock, and out-of-order byte budgets (see
+// netsim.Limits for the drop policy). Evicting an open flow first
+// flushes its group's pending scan jobs, so no enqueued alert is lost.
+// Shard.Stats reports the lifecycle counters (evictions, teardowns,
+// dropped bytes, peak flows).
+//
+// For multi-core capture, Engine.NewDispatcher hash-partitions flows
+// across N worker shards, each on its own goroutine.
 package ids
 
 import (
@@ -34,6 +49,7 @@ import (
 
 	"vpatch"
 	"vpatch/internal/netsim"
+	"vpatch/internal/patterns"
 )
 
 // Alert is one confirmed pattern occurrence in a flow's stream.
@@ -96,6 +112,9 @@ type Shard struct {
 	pending       map[*group]*groupBatch
 	maxBatchBufs  int
 	maxBatchBytes int
+	// counters, when set, instruments every batch scan (see
+	// SetCounters).
+	counters *vpatch.Counters
 }
 
 // flowState is the per-flow stream bookkeeping the batched pipeline
@@ -225,7 +244,61 @@ func (e *Engine) NewShard(emit func(Alert)) *Shard {
 		maxBatchBytes: DefaultBatchBytes,
 	}
 	s.reasm = netsim.NewReassembler(s.onPayload)
+	s.reasm.OnClose(s.onFlowClose)
 	return s
+}
+
+// SetLimits arms the shard's flow-lifecycle bounds: flow cap, idle
+// timeout and out-of-order byte budgets (see netsim.Limits). The zero
+// value means unlimited — the polite-traffic mode; production shards
+// facing real capture should always set limits.
+func (s *Shard) SetLimits(l netsim.Limits) { s.reasm.SetLimits(l) }
+
+// Stats reports the shard's flow-lifecycle counters: tracked/peak
+// flows, teardowns, evictions, dropped bytes and pending out-of-order
+// bytes. Fold them into scan counters with netsim.Stats.MergeInto.
+func (s *Shard) Stats() netsim.Stats { return s.reasm.Stats() }
+
+// SetCounters attaches scan instrumentation to the shard: every batch
+// scan accumulates into c (bytes scanned, filter probes, matches, lane
+// occupancy, ...). Instrumented scans cost a few percent of
+// throughput; pass nil to detach. The counters follow the shard's
+// single-goroutine rule.
+func (s *Shard) SetCounters(c *vpatch.Counters) { s.counters = c }
+
+// onFlowClose releases a flow's scan state when the reassembler stops
+// tracking it. On normal teardown (FIN/RST) the carry is dropped and
+// enqueued scan jobs simply surface at the next flush — they hold their
+// own copies of the stream bytes. On eviction the flow's group batch is
+// flushed first, so alerts from an evicted flow's enqueued jobs are
+// delivered before the pipeline forgets it.
+func (s *Shard) onFlowClose(k netsim.FlowKey, evicted bool) {
+	fs := s.flows[k]
+	if fs == nil {
+		return
+	}
+	if evicted {
+		// Flush only when the batch actually holds jobs of this flow:
+		// under flow-cap churn most evicted flows were flushed by a
+		// watermark long ago, and flushing the shared group batch for
+		// each of them would collapse batching back to scan-per-payload.
+		if pb := s.pending[fs.g]; pb != nil && pb.hasJobs(fs) {
+			s.flushGroup(fs.g, pb)
+		}
+	}
+	fs.carry = nil
+	delete(s.flows, k)
+}
+
+// hasJobs reports whether the batch holds an enqueued scan job for fs
+// (meta is at most a watermark's worth of entries).
+func (pb *groupBatch) hasJobs(fs *flowState) bool {
+	for i := range pb.meta {
+		if pb.meta[i].fs == fs {
+			return true
+		}
+	}
+	return false
 }
 
 // SetWatermarks overrides the shard's flush watermarks: a group's
@@ -263,19 +336,12 @@ func (e *Engine) GroupSizes() map[vpatch.Protocol]int {
 	return out
 }
 
-// protoForPort classifies a flow by its destination service port.
+// protoForPort classifies a flow by its destination service port,
+// through the same patterns.ServicePorts table the rule parser buckets
+// rules with — a rule written for a port always compiles into the group
+// its flows are scanned against.
 func protoForPort(port uint16) vpatch.Protocol {
-	switch port {
-	case 80, 8080, 8000, 443:
-		return vpatch.ProtoHTTP
-	case 53:
-		return vpatch.ProtoDNS
-	case 21:
-		return vpatch.ProtoFTP
-	case 25, 587:
-		return vpatch.ProtoSMTP
-	}
-	return vpatch.ProtoGeneric
+	return patterns.ProtoForPort(port)
 }
 
 // groupFor picks the compiled group for a flow, falling back to the
@@ -304,6 +370,18 @@ func (e *Engine) Flows() int { return e.def.Flows() }
 
 // PendingBytes reports buffered out-of-order bytes in the default shard.
 func (e *Engine) PendingBytes() int { return e.def.PendingBytes() }
+
+// SetLimits arms the default shard's flow-lifecycle bounds (see
+// Shard.SetLimits).
+func (e *Engine) SetLimits(l netsim.Limits) { e.def.SetLimits(l) }
+
+// SetCounters instruments the default shard's scans (see
+// Shard.SetCounters).
+func (e *Engine) SetCounters(c *vpatch.Counters) { e.def.SetCounters(c) }
+
+// Stats reports the default shard's flow-lifecycle counters (see
+// Shard.Stats).
+func (e *Engine) Stats() netsim.Stats { return e.def.Stats() }
 
 // HandleSegment feeds one captured segment through reassembly and
 // matching. Segments may arrive reordered or duplicated.
@@ -377,7 +455,7 @@ func (s *Shard) flushGroup(g *group, pb *groupBatch) {
 		return
 	}
 	set := g.eng.Set()
-	s.session(g).ScanBatch(pb.bufs, nil, func(buf int, m vpatch.Match) {
+	s.session(g).ScanBatch(pb.bufs, s.counters, func(buf int, m vpatch.Match) {
 		ent := &pb.meta[buf]
 		// Matches ending inside the carry prefix were reported by the
 		// batch that scanned those stream bytes first.
@@ -415,7 +493,10 @@ func (s *Shard) PendingScanBufs() int {
 	return n
 }
 
-// Flows returns the number of flows tracked by this shard.
+// Flows returns the number of flows holding scan state in this shard.
+// Torn-down and evicted flows are released, so on FIN-terminating
+// traffic this tracks live connections; Stats().Flows additionally
+// counts closed flows awaiting tombstone expiry in the reassembler.
 func (s *Shard) Flows() int { return len(s.flows) }
 
 // PendingBytes reports buffered out-of-order bytes (diagnostic).

@@ -66,6 +66,17 @@ type Counters struct {
 	// Matches found.
 	Matches uint64
 
+	// Flow-lifecycle events from the reassembly/IDS pipeline (zero for
+	// plain buffer scans). FlowsEvicted counts open flows dropped by
+	// the flow cap or idle timeout, BytesDropped counts payload bytes
+	// the pipeline discarded (over-budget out-of-order data, evicted
+	// flows, post-teardown retransmits), and PeakFlows is the maximum
+	// number of simultaneously tracked flows (Add merges it by max, not
+	// sum — it is a high-water mark, not an event count).
+	FlowsEvicted uint64
+	BytesDropped uint64
+	PeakFlows    uint64
+
 	// Phase wall-clock time.
 	FilteringNs int64
 	VerifyNs    int64
@@ -92,6 +103,11 @@ func (c *Counters) Add(o *Counters) {
 	c.VerifyBytes += o.VerifyBytes
 	c.DFAAccesses += o.DFAAccesses
 	c.Matches += o.Matches
+	c.FlowsEvicted += o.FlowsEvicted
+	c.BytesDropped += o.BytesDropped
+	if o.PeakFlows > c.PeakFlows {
+		c.PeakFlows = o.PeakFlows
+	}
 	c.FilteringNs += o.FilteringNs
 	c.VerifyNs += o.VerifyNs
 	c.OtherNs += o.OtherNs
@@ -145,12 +161,13 @@ func (c *Counters) CandidateFrac() float64 {
 
 func (c *Counters) String() string {
 	return fmt.Sprintf(
-		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d filter=%s verify=%s",
+		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d evicted=%d dropped=%dB peakflows=%d filter=%s verify=%s",
 		c.BytesScanned, c.Filter1Probes, c.Filter2Probes, c.Filter3Probes,
 		c.VectorIters, c.Gathers, c.MergedGathers, c.Filter3Blocks,
 		c.BatchIters, c.BatchActiveLanes,
 		c.ShortCandidates, c.LongCandidates, c.HTProbes, c.VerifyAttempts,
 		c.VerifyBytes, c.Matches,
+		c.FlowsEvicted, c.BytesDropped, c.PeakFlows,
 		time.Duration(c.FilteringNs), time.Duration(c.VerifyNs))
 }
 

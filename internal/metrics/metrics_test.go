@@ -13,6 +13,7 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 		HTProbes: 12, VerifyAttempts: 13, VerifyBytes: 14, Matches: 15,
 		FilteringNs: 16, VerifyNs: 17, OtherNs: 18, DFAAccesses: 19,
 		BatchIters: 20, BatchActiveLanes: 21,
+		FlowsEvicted: 22, BytesDropped: 23, PeakFlows: 24,
 	}
 	var c Counters
 	c.Add(&a)
@@ -24,6 +25,8 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 		HTProbes: 24, VerifyAttempts: 26, VerifyBytes: 28, Matches: 30,
 		FilteringNs: 32, VerifyNs: 34, OtherNs: 36, DFAAccesses: 38,
 		BatchIters: 40, BatchActiveLanes: 42,
+		// PeakFlows is a high-water mark: Add merges it by max.
+		FlowsEvicted: 44, BytesDropped: 46, PeakFlows: 24,
 	}) {
 		t.Fatalf("Add result wrong: %+v", c)
 	}

@@ -82,7 +82,9 @@ func appendFrame(dst []byte, seg *Segment) []byte {
 	be.PutUint16(tcp[2:], seg.Flow.DstPort)
 	be.PutUint32(tcp[4:], seg.Seq)
 	tcp[12] = 5 << 4 // data offset 5 words
-	tcp[13] = 0x18   // PSH|ACK
+	// PSH|ACK plus the segment's lifecycle flags (FIN/RST share the
+	// TCP flag-byte bit positions).
+	tcp[13] = 0x18 | (seg.Flags & (FlagFIN | FlagRST))
 	be.PutUint16(tcp[14:], 0xFFFF)
 	dst = append(dst, tcp[:]...)
 	return append(dst, seg.Payload...)
@@ -149,6 +151,7 @@ func ReadPcap(r io.Reader) ([]Segment, error) {
 			Seq:      be.Uint32(tcp[4:]),
 			Payload:  frame[frameOverhead:],
 			TsMicros: uint64(le.Uint32(ph[0:]))*1_000_000 + uint64(le.Uint32(ph[4:])),
+			Flags:    tcp[13] & (FlagFIN | FlagRST),
 		})
 	}
 }

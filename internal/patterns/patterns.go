@@ -24,6 +24,31 @@ const (
 	ProtoSMTP
 )
 
+// ServicePorts is the single port→protocol classification table shared
+// by rule parsing (protoFromHeader buckets rules by their header ports)
+// and flow routing (ids classifies flows by destination port). Keeping
+// one table guarantees a rule written for a port always lands in the
+// group its flows are scanned against — the two sides cannot drift.
+var ServicePorts = map[uint16]Protocol{
+	80:   ProtoHTTP,
+	443:  ProtoHTTP,
+	8000: ProtoHTTP,
+	8080: ProtoHTTP,
+	53:   ProtoDNS,
+	21:   ProtoFTP,
+	25:   ProtoSMTP,
+	587:  ProtoSMTP,
+}
+
+// ProtoForPort classifies a service port via ServicePorts; unlisted
+// ports are ProtoGeneric.
+func ProtoForPort(port uint16) Protocol {
+	if p, ok := ServicePorts[port]; ok {
+		return p
+	}
+	return ProtoGeneric
+}
+
 func (p Protocol) String() string {
 	switch p {
 	case ProtoGeneric:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -55,8 +56,9 @@ type ParseOptions struct {
 //
 //	alert tcp any any -> any 80 (msg:"..."; content:"GET /admin"; nocase; content:"|0D 0A|"; sid:1;)
 //
-// Recognized pieces: the protocol hint from the header ports (80/8080 →
-// HTTP, 53 → DNS, 21 → FTP, 25 → SMTP, otherwise generic), any number of
+// Recognized pieces: the protocol hint from the header ports (via the
+// shared ServicePorts table: 80/443/8000/8080 → HTTP, 53 → DNS, 21 →
+// FTP, 25/587 → SMTP, otherwise generic), any number of
 // content:"..." options with Snort escapes (\" \\ \| and |HH HH| hex
 // blocks), and a nocase modifier applying to the preceding content.
 // Lines starting with '#' and blank lines are skipped.
@@ -105,34 +107,48 @@ type ruleContent struct {
 }
 
 // protoFromHeader guesses the traffic class from the port fields of the
-// rule header. It only needs to be good enough to bucket rules the way the
-// paper's "web traffic patterns" subsets do.
+// rule header, classifying every numeric port through the shared
+// ServicePorts table (the same table ids uses to route flows, so the
+// two sides cannot drift). The $HTTP_PORTS variable and an "http"
+// protocol token keep their HTTP meaning; when several ports classify
+// differently, HTTP wins over DNS over FTP over SMTP (the old switch
+// order).
 func protoFromHeader(line string) Protocol {
 	paren := strings.IndexByte(line, '(')
 	header := line
 	if paren >= 0 {
 		header = line[:paren]
 	}
-	fields := strings.Fields(header)
-	hasPort := func(p string) bool {
-		for _, f := range fields {
-			if f == p {
-				return true
-			}
+	rank := func(p Protocol) int {
+		switch p {
+		case ProtoHTTP:
+			return 4
+		case ProtoDNS:
+			return 3
+		case ProtoFTP:
+			return 2
+		case ProtoSMTP:
+			return 1
 		}
-		return false
+		return 0
 	}
-	switch {
-	case hasPort("80"), hasPort("8080"), hasPort("$HTTP_PORTS"), strings.Contains(header, "http"):
-		return ProtoHTTP
-	case hasPort("53"):
-		return ProtoDNS
-	case hasPort("21"):
-		return ProtoFTP
-	case hasPort("25"):
-		return ProtoSMTP
+	best := ProtoGeneric
+	consider := func(p Protocol) {
+		if rank(p) > rank(best) {
+			best = p
+		}
 	}
-	return ProtoGeneric
+	for _, f := range strings.Fields(header) {
+		if f == "$HTTP_PORTS" {
+			consider(ProtoHTTP)
+		} else if n, err := strconv.ParseUint(f, 10, 16); err == nil {
+			consider(ProtoForPort(uint16(n)))
+		}
+	}
+	if strings.Contains(header, "http") {
+		consider(ProtoHTTP)
+	}
+	return best
 }
 
 // parseContents extracts all content:"..." options (with their nocase

@@ -1,6 +1,7 @@
 package patterns
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -108,6 +109,30 @@ func TestParseProtocolGuess(t *testing.T) {
 		if got := s.Pattern(0).Proto; got != c.want {
 			t.Errorf("rule %q: proto %v, want %v", c.rule, got, c.want)
 		}
+	}
+}
+
+// TestProtoFromHeaderMatchesServicePorts: the rule parser must classify
+// every port in the shared ServicePorts table exactly as flow routing
+// does — this is the drift guard for the single port→protocol table
+// (443 and 8000 were historically counted as HTTP by the flow side
+// only, compiling their rules into every group).
+func TestProtoFromHeaderMatchesServicePorts(t *testing.T) {
+	for port, want := range ServicePorts {
+		line := fmt.Sprintf(`alert tcp any any -> any %d (content:"drift"; sid:1;)`, port)
+		if got := protoFromHeader(line); got != want {
+			t.Errorf("port %d: parser says %v, ServicePorts says %v", port, got, want)
+		}
+		if got := ProtoForPort(port); got != want {
+			t.Errorf("port %d: ProtoForPort says %v, table says %v", port, got, want)
+		}
+	}
+	// Mixed ports pick the higher-priority class (HTTP > DNS > FTP > SMTP).
+	if got := protoFromHeader(`alert udp any 53 -> any 443 (content:"x"; sid:1;)`); got != ProtoHTTP {
+		t.Errorf("mixed 53/443 header classified %v, want HTTP priority", got)
+	}
+	if got := ProtoForPort(60000); got != ProtoGeneric {
+		t.Errorf("unlisted port classified %v", got)
 	}
 }
 

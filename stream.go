@@ -4,17 +4,30 @@ import (
 	"fmt"
 )
 
+// StreamMatch is one reported occurrence in an unbounded stream: the
+// pattern's ID and the absolute stream offset of the occurrence. Stream
+// offsets are 64-bit — a long-lived flow passes 2 GiB in seconds at the
+// line rates the paper targets, so the in-buffer Match.Pos (int32)
+// cannot carry them.
+type StreamMatch struct {
+	PatternID int32
+	Pos       int64
+}
+
+// StreamEmitFunc receives stream matches with absolute 64-bit offsets.
+type StreamEmitFunc func(StreamMatch)
+
 // StreamScanner scans an unbounded byte stream delivered in chunks (the
 // reassembled protocol stream of a NIDS), finding matches that span chunk
 // boundaries. It keeps a carry of the last maxPatternLen-1 bytes of the
 // stream; each Write scans carry+chunk and reports only matches that end
 // inside the new bytes, so no match is missed or double-reported.
 //
-// Offsets in emitted matches are absolute stream offsets.
+// Offsets in emitted matches are absolute 64-bit stream offsets.
 type StreamScanner struct {
 	scan     func(input []byte, c *Counters, emit EmitFunc)
 	set      *PatternSet
-	emit     EmitFunc
+	emit     StreamEmitFunc
 	carry    []byte
 	maxLen   int
 	consumed int64 // total stream bytes fully processed (end of carry)
@@ -22,7 +35,7 @@ type StreamScanner struct {
 
 // newStreamScanner wires a scan function and its pattern set into the
 // chunked-scanning state machine.
-func newStreamScanner(scan func([]byte, *Counters, EmitFunc), set *PatternSet, emit EmitFunc) (*StreamScanner, error) {
+func newStreamScanner(scan func([]byte, *Counters, EmitFunc), set *PatternSet, emit StreamEmitFunc) (*StreamScanner, error) {
 	if emit == nil {
 		return nil, fmt.Errorf("vpatch: nil emit func")
 	}
@@ -43,8 +56,8 @@ func newStreamScanner(scan func([]byte, *Counters, EmitFunc), set *PatternSet, e
 // engine's pooled Scan path: safe to construct and Write from any
 // goroutine (one goroutine per scanner at a time), at the cost of a
 // scratch-pool round-trip per Write. emit receives every match with
-// absolute stream offsets; it must be non-nil.
-func (e *Engine) NewStreamScanner(emit EmitFunc) (*StreamScanner, error) {
+// absolute 64-bit stream offsets; it must be non-nil.
+func (e *Engine) NewStreamScanner(emit StreamEmitFunc) (*StreamScanner, error) {
 	return newStreamScanner(e.Scan, e.set, emit)
 }
 
@@ -52,20 +65,27 @@ func (e *Engine) NewStreamScanner(emit EmitFunc) (*StreamScanner, error) {
 // this session — the lowest-overhead form: one Session per goroutine,
 // any number of StreamScanners (one per stream) on top of it. The
 // scanner inherits the session's single-goroutine constraint.
-func (s *Session) NewStreamScanner(emit EmitFunc) (*StreamScanner, error) {
+func (s *Session) NewStreamScanner(emit StreamEmitFunc) (*StreamScanner, error) {
 	return newStreamScanner(s.Scan, s.eng.set, emit)
 }
 
-// NewStreamScanner wraps a Matcher for chunked scanning: a thin
-// adapter over the Engine/Session constructors, kept so code written
-// against the Matcher interface still compiles.
+// NewStreamScanner wraps a Matcher for chunked scanning: a thin adapter
+// over the Engine/Session constructors, kept so code written against
+// the Matcher interface still compiles. The adapter narrows stream
+// offsets to Match's int32 — past 2 GiB of stream they wrap.
 //
-// Deprecated: use Engine.NewStreamScanner or Session.NewStreamScanner.
+// Deprecated: use Engine.NewStreamScanner or Session.NewStreamScanner,
+// whose StreamEmitFunc carries full 64-bit offsets.
 func NewStreamScanner(m Matcher, emit EmitFunc) (*StreamScanner, error) {
 	if m == nil {
 		return nil, fmt.Errorf("vpatch: nil matcher")
 	}
-	return newStreamScanner(m.Scan, m.Set(), emit)
+	if emit == nil {
+		return nil, fmt.Errorf("vpatch: nil emit func")
+	}
+	return newStreamScanner(m.Scan, m.Set(), func(sm StreamMatch) {
+		emit(Match{PatternID: sm.PatternID, Pos: int32(sm.Pos)})
+	})
 }
 
 // Write feeds the next chunk of the stream. It may be called with chunks
@@ -85,7 +105,7 @@ func (s *StreamScanner) Write(chunk []byte) (int, error) {
 		if end <= carryLen {
 			return
 		}
-		s.emit(Match{PatternID: m.PatternID, Pos: int32(base + int64(m.Pos))})
+		s.emit(StreamMatch{PatternID: m.PatternID, Pos: base + int64(m.Pos)})
 	})
 
 	s.consumed += int64(len(chunk))

@@ -56,12 +56,12 @@ func TestStreamEngineAndSessionConstructors(t *testing.T) {
 		t.Fatal("Session constructor accepted nil emit")
 	}
 
-	for name, mk := range map[string]func(EmitFunc) (*StreamScanner, error){
+	for name, mk := range map[string]func(StreamEmitFunc) (*StreamScanner, error){
 		"engine":  eng.NewStreamScanner,
 		"session": eng.NewSession().NewStreamScanner,
 	} {
 		var got []Match
-		s, err := mk(func(m Match) { got = append(got, m) })
+		s, err := mk(func(m StreamMatch) { got = append(got, Match{PatternID: m.PatternID, Pos: int32(m.Pos)}) })
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -162,6 +162,42 @@ func TestStreamAbsoluteOffsets(t *testing.T) {
 	}
 	if s.Consumed() != 12 {
 		t.Fatalf("Consumed = %d", s.Consumed())
+	}
+}
+
+// TestStream64BitOffsetsPast2GiB: matches beyond 2 GiB of consumed
+// stream must report exact 64-bit offsets. The scanner's consumed
+// counter is pre-set to just under the int32 boundary so the test does
+// not have to stream 2 GiB of data.
+func TestStream64BitOffsetsPast2GiB(t *testing.T) {
+	set := PatternSetFromStrings("needle")
+	eng, err := Compile(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []StreamMatch
+	s, err := eng.NewStreamScanner(func(m StreamMatch) { got = append(got, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = int64(1)<<31 - 1 // one byte shy of the int32 boundary
+	s.consumed = base
+	if _, err := s.Write([]byte("xxneedleyy")); err != nil {
+		t.Fatal(err)
+	}
+	want := base + 2
+	if len(got) != 1 || got[0].Pos != want {
+		t.Fatalf("matches %v, want one at %d", got, want)
+	}
+	if int64(int32(got[0].Pos)) == got[0].Pos {
+		t.Fatalf("offset %d does not exercise the 32-bit boundary", got[0].Pos)
+	}
+	// A second write keeps counting past the boundary.
+	if _, err := s.Write([]byte("needle")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Pos != base+10 {
+		t.Fatalf("second match %v, want offset %d", got, base+10)
 	}
 }
 
