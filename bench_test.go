@@ -301,6 +301,104 @@ func BenchmarkBatchSmallPackets(b *testing.B) {
 	}
 }
 
+// --- Acceleration benches (the hot-path skip-loop layer) ---
+// Each family runs the accelerated kernel against the plain one on the
+// same traffic in the same process, so the accel/plain ratio is
+// meaningful even on noisy machines.
+
+// BenchmarkAccelClean is the headline: 0% match density (clean random
+// traffic — the encrypted/compressed payload case), 2K web patterns,
+// W=8, filtering phase only. The skip loop clears the ~94% of windows
+// the union bitmap rejects before the probe chain runs at all.
+func BenchmarkAccelClean(b *testing.B) {
+	f := benchFixtures()
+	data := traffic.Random(benchBytes, 1)
+	accel := core.NewVPatch(f.s1web, core.VOptions{})
+	plain := core.NewVPatch(f.s1web, core.VOptions{NoAccel: true})
+	b.Run("accel", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			accel.FilterOnly(data, nil, true)
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			plain.FilterOnly(data, nil, true)
+		}
+	})
+}
+
+// BenchmarkAccelScan is the full-scan (filter + verify) view of the
+// same comparison, for S-PATCH, V-PATCH and DFC.
+func BenchmarkAccelScan(b *testing.B) {
+	f := benchFixtures()
+	data := traffic.Random(benchBytes, 1)
+	for _, alg := range []Algorithm{AlgoVPatch, AlgoSPatch, AlgoDFC} {
+		on, err := Compile(f.s1web, Options{Algorithm: alg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := Compile(f.s1web, Options{Algorithm: alg, NoAccel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(alg.String()+"/accel", func(b *testing.B) { benchScan(b, on.NewSession(), data) })
+		b.Run(alg.String()+"/plain", func(b *testing.B) { benchScan(b, off.NewSession(), data) })
+	}
+}
+
+// BenchmarkAccelDense is the governor guard: 100% match density, where
+// skipping cannot pay and the span governor must keep the accelerated
+// engine within a few percent of the plain one (the Fig.-5c
+// high-density acceptance bound).
+func BenchmarkAccelDense(b *testing.B) {
+	f := benchFixtures()
+	set := f.s2.Subset(2000, 1)
+	data := traffic.Random(benchBytes, 1)
+	traffic.InjectMatches(data, set, 1.0, 3)
+	accel := core.NewVPatch(set, core.VOptions{})
+	plain := core.NewVPatch(set, core.VOptions{NoAccel: true})
+	b.Run("accel", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			accel.Scan(data, nil, nil)
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			plain.Scan(data, nil, nil)
+		}
+	})
+}
+
+// BenchmarkAccelIndexByte: a rare-start-byte rule set (every pattern
+// opens with the same two bytes), where the skip primitive is the
+// runtime's assembly-backed bytes.IndexByte and clean traffic is
+// cleared at memchr speed.
+func BenchmarkAccelIndexByte(b *testing.B) {
+	set := NewPatternSet()
+	for _, p := range []string{"\x00\x01BAD", "\x00\x01EVIL", "\x00\x01wormsign", "\x00\x01inject"} {
+		set.Add([]byte(p), false, ProtoGeneric)
+	}
+	data := traffic.Synthesize(traffic.ISCXDay2, benchBytes, 1, nil)
+	accel := core.NewVPatch(set, core.VOptions{})
+	plain := core.NewVPatch(set, core.VOptions{NoAccel: true})
+	b.Run("accel", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			accel.Scan(data, nil, nil)
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			plain.Scan(data, nil, nil)
+		}
+	})
+}
+
 // BenchmarkWuManber: the related-work baseline on the same workload.
 func BenchmarkWuManber(b *testing.B) {
 	f := benchFixtures()

@@ -7,7 +7,10 @@
 //	vpatch-bench -fig 4a -size 64   # 64 MB of traffic per dataset
 //	vpatch-bench -sizes 64,256,1514,imix -batch 32
 //	                                # packet-size sweep: serial vs batch
+//	vpatch-bench -accel             # acceleration density sweep
 //	vpatch-bench -db web.vpdb      # startup: load vs recompile + scan
+//	vpatch-bench -all -json bench.json
+//	                                # machine-readable results
 //
 // Figures: 4a 4b 5a 5b 5c 6a 6b 6c 7a 7b. Output is the same rows/series
 // the paper plots: wall-clock Gbps of this Go implementation plus
@@ -26,9 +29,20 @@
 // per packet versus one lane-per-packet ScanBatch call per -batch
 // packets, reporting wall-clock throughput, the serial scan's vector
 // coverage, and the batched scan's lane occupancy per size.
+//
+// The -accel mode runs the skip-loop acceleration density sweep
+// (0-100% match fraction x packet-to-chunk buffer sizes): accelerated
+// vs plain fused kernels plus the skip ratio per cell — the crossover
+// evidence behind the acceleration layer's governor thresholds.
+//
+// -json writes every result produced by the run as one machine-readable
+// JSON document ("-" = stdout): per-figure wall-clock and modeled Gbps
+// with full event counters, batch-sweep lane occupancy, and accel-sweep
+// skip ratios. CI records it as the bench-trajectory artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +57,55 @@ import (
 	"vpatch/internal/traffic"
 )
 
+// report accumulates everything the run produced for -json output.
+type report struct {
+	GeneratedAt string                      `json:"generated_at"`
+	Seed        int64                       `json:"seed"`
+	TrafficMB   int                         `json:"traffic_mb"`
+	Repeats     int                         `json:"repeats"`
+	Figures     map[string]any              `json:"figures,omitempty"`
+	BatchSweep  []experiments.BatchSweepRow `json:"batch_sweep,omitempty"`
+	AccelSweep  []experiments.AccelSweepRow `json:"accel_sweep,omitempty"`
+	DB          *dbReport                   `json:"db,omitempty"`
+}
+
+// dbReport is the -db startup benchmark in machine-readable form.
+type dbReport struct {
+	Path          string  `json:"path"`
+	Bytes         int     `json:"bytes"`
+	Info          string  `json:"info"`
+	LoadMicros    int64   `json:"load_us"`
+	CompileMicros int64   `json:"compile_us"`
+	ScanGbps      float64 `json:"scan_gbps"`
+}
+
+func (r *report) addFigure(name string, rows any) {
+	if r.Figures == nil {
+		r.Figures = map[string]any{}
+	}
+	r.Figures[name] = rows
+}
+
+// write emits the report to path ("-" = stdout) when -json was given.
+func (r *report) write(path string) {
+	if path == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatalBench(err)
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatalBench(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate (4a 4b 5a 5b 5c 6a 6b 6c 7a 7b)")
 	all := flag.Bool("all", false, "regenerate every figure")
@@ -53,6 +116,8 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated packet sizes in bytes (or 'imix'): run the serial-vs-batch packet sweep instead of figures")
 	batchN := flag.Int("batch", 32, "buffers per ScanBatch call in the packet sweep")
 	dbPath := flag.String("db", "", "precompiled .vpdb database: run the load-vs-compile startup benchmark instead of figures")
+	accelSweep := flag.Bool("accel", false, "run the skip-loop acceleration density sweep instead of figures")
+	jsonPath := flag.String("json", "", "write all results of this run as JSON to the given path ('-' = stdout)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -60,13 +125,26 @@ func main() {
 		Seed:         *seed,
 		Repeats:      *repeats,
 	}
+	rep := &report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        *seed,
+		TrafficMB:   *sizeMB,
+		Repeats:     *repeats,
+	}
 
 	if *dbPath != "" {
-		runDBBench(cfg, *dbPath)
+		runDBBench(cfg, *dbPath, rep)
+		rep.write(*jsonPath)
+		return
+	}
+	if *accelSweep {
+		runAccelSweep(cfg, *csvDir, rep)
+		rep.write(*jsonPath)
 		return
 	}
 	if *sizesFlag != "" {
-		runBatchSweep(cfg, *sizesFlag, *batchN, *csvDir)
+		runBatchSweep(cfg, *sizesFlag, *batchN, *csvDir, rep)
+		rep.write(*jsonPath)
 		return
 	}
 
@@ -97,47 +175,57 @@ func main() {
 			rows := experiments.FigThroughput(cfg, s1web, costmodel.Haswell, 8)
 			experiments.PrintThroughputRows(os.Stdout,
 				"Fig 4a: overall throughput, Snort web patterns (2K), Haswell (W=8)", rows)
+			rep.addFigure("4a", rows)
 			writeCSV(*csvDir, func() error { return experiments.WriteThroughputCSV(*csvDir, "fig4a.csv", rows) })
 		case "4b":
 			rows := experiments.FigThroughput(cfg, s2web, costmodel.Haswell, 8)
 			experiments.PrintThroughputRows(os.Stdout,
 				"Fig 4b: overall throughput, ET-open web patterns (9K), Haswell (W=8)", rows)
+			rep.addFigure("4b", rows)
 			writeCSV(*csvDir, func() error { return experiments.WriteThroughputCSV(*csvDir, "fig4b.csv", rows) })
 		case "5a":
 			pts := experiments.Fig5a(cfg, s2, []int{1000, 2500, 5000, 7500, 10000, 15000, 20000},
 				costmodel.Haswell, 8)
 			experiments.PrintFig5a(os.Stdout, pts)
+			rep.addFigure("5a", pts)
 			writeCSV(*csvDir, func() error { return experiments.WriteFig5aCSV(*csvDir, "fig5a.csv", pts) })
 		case "5b":
 			pts := experiments.Fig5b(cfg, s2, []int{1000, 2500, 5000, 7500, 10000, 15000, 20000}, 8)
 			experiments.PrintFig5b(os.Stdout, pts)
+			rep.addFigure("5b", pts)
 			writeCSV(*csvDir, func() error { return experiments.WriteFig5bCSV(*csvDir, "fig5b.csv", pts) })
 		case "5c":
 			pts := experiments.Fig5c(cfg, s2.Subset(2000, cfg.Seed),
 				[]float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}, costmodel.Haswell, 8)
 			experiments.PrintFig5c(os.Stdout, pts)
+			rep.addFigure("5c", pts)
 			writeCSV(*csvDir, func() error { return experiments.WriteFig5cCSV(*csvDir, "fig5c.csv", pts) })
 		case "6a":
 			cells := experiments.Fig6(cfg, s1web, costmodel.Haswell, 8)
 			experiments.PrintFig6(os.Stdout, "Fig 6a: filtering-only throughput, 2K patterns", cells)
+			rep.addFigure("6a", cells)
 			writeCSV(*csvDir, func() error { return experiments.WriteFig6CSV(*csvDir, "fig6a.csv", cells) })
 		case "6b":
 			cells := experiments.Fig6(cfg, s2web, costmodel.Haswell, 8)
 			experiments.PrintFig6(os.Stdout, "Fig 6b: filtering-only throughput, 9K patterns", cells)
+			rep.addFigure("6b", cells)
 			writeCSV(*csvDir, func() error { return experiments.WriteFig6CSV(*csvDir, "fig6b.csv", cells) })
 		case "6c":
 			cells := experiments.Fig6(cfg, s2, costmodel.Haswell, 8)
 			experiments.PrintFig6(os.Stdout, "Fig 6c: filtering-only throughput, 20K patterns", cells)
+			rep.addFigure("6c", cells)
 			writeCSV(*csvDir, func() error { return experiments.WriteFig6CSV(*csvDir, "fig6c.csv", cells) })
 		case "7a":
 			rows := experiments.FigThroughput(cfg, s1web, costmodel.XeonPhi, 16)
 			experiments.PrintThroughputRows(os.Stdout,
 				"Fig 7a: overall throughput, Snort web patterns (2K), Xeon-Phi (W=16)", rows)
+			rep.addFigure("7a", rows)
 			writeCSV(*csvDir, func() error { return experiments.WriteThroughputCSV(*csvDir, "fig7a.csv", rows) })
 		case "7b":
 			rows := experiments.FigThroughput(cfg, s2web, costmodel.XeonPhi, 16)
 			experiments.PrintThroughputRows(os.Stdout,
 				"Fig 7b: overall throughput, ET-open web patterns (9K), Xeon-Phi (W=16)", rows)
+			rep.addFigure("7b", rows)
 			writeCSV(*csvDir, func() error { return experiments.WriteThroughputCSV(*csvDir, "fig7b.csv", rows) })
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
@@ -145,13 +233,30 @@ func main() {
 		}
 		fmt.Println()
 	}
+	rep.write(*jsonPath)
+}
+
+// runAccelSweep runs the acceleration density sweep on the Snort-sized
+// web rule set (the BenchmarkAccel* configuration).
+func runAccelSweep(cfg experiments.Config, csvDir string, rep *report) {
+	fmt.Println("generating rule set (seeded, statistics of Snort v2.9.7)...")
+	set := patterns.GenerateS1(cfg.Seed).WebSubset()
+	fmt.Println("  " + patterns.DescribeSet("S1-web", set))
+	fmt.Println()
+	rows := experiments.AccelSweep(cfg, set,
+		[]float64{0, 0.25, 0.5, 0.75, 1.0},
+		[]int{64, 1514, 64 << 10}, 8)
+	experiments.PrintAccelSweep(os.Stdout,
+		"Accel sweep: skip-loop acceleration vs plain fused kernels (V-PATCH W=8, random traffic + injected matches)", rows)
+	rep.AccelSweep = rows
+	writeCSV(csvDir, func() error { return experiments.WriteAccelSweepCSV(csvDir, "accelsweep.csv", rows) })
 }
 
 // runDBBench is the -db startup benchmark: load the database (timed,
 // repeated), recompile the identical pattern set with the identical
 // engine for comparison, print the engine Info, and measure scan
 // throughput over synthesized traffic.
-func runDBBench(cfg experiments.Config, path string) {
+func runDBBench(cfg experiments.Config, path string, rep *report) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		fatalBench(err)
@@ -185,6 +290,11 @@ func runDBBench(cfg experiments.Config, path string) {
 	fmt.Printf("startup:  load %s vs compile %s (%.1fx)\n",
 		loadTime.Round(time.Microsecond), compileTime.Round(time.Microsecond),
 		float64(compileTime)/float64(loadTime))
+	rep.DB = &dbReport{
+		Path: path, Bytes: len(blob), Info: info.String(),
+		LoadMicros:    loadTime.Microseconds(),
+		CompileMicros: compileTime.Microseconds(),
+	}
 
 	data := traffic.Synthesize(traffic.ISCXDay2, cfg.TrafficBytes, cfg.Seed, eng.Set())
 	sess := eng.NewSession()
@@ -199,6 +309,7 @@ func runDBBench(cfg experiments.Config, path string) {
 	}
 	fmt.Printf("scan:     %.3f Gbps over %d MB of ISCX-like traffic (best of %d)\n",
 		best, len(data)>>20, reps)
+	rep.DB.ScanGbps = best
 }
 
 func fatalBench(err error) {
@@ -208,7 +319,7 @@ func fatalBench(err error) {
 
 // runBatchSweep parses the -sizes list and runs the packet-size sweep
 // on the Snort-sized web rule set (the Fig. 4a configuration).
-func runBatchSweep(cfg experiments.Config, sizesFlag string, batch int, csvDir string) {
+func runBatchSweep(cfg experiments.Config, sizesFlag string, batch int, csvDir string, rep *report) {
 	var sizes []int
 	for _, tok := range strings.Split(sizesFlag, ",") {
 		tok = strings.TrimSpace(tok)
@@ -230,6 +341,7 @@ func runBatchSweep(cfg experiments.Config, sizesFlag string, batch int, csvDir s
 	rows := experiments.BatchSweep(cfg, set, sizes, batch, 8)
 	experiments.PrintBatchSweep(os.Stdout,
 		fmt.Sprintf("Batch sweep: V-PATCH serial vs lane-per-packet batch (W=8, batch=%d), ISCX-day2 traffic", batch), rows)
+	rep.BatchSweep = rows
 	writeCSV(csvDir, func() error { return experiments.WriteBatchSweepCSV(csvDir, "batchsweep.csv", rows) })
 }
 

@@ -180,6 +180,31 @@ type Info struct {
 	// SerializedBytes is the size of the engine's compiled database
 	// (Serialize output), including the pattern set.
 	SerializedBytes int
+	// Accel describes the engine's skip-loop acceleration layer; the
+	// zero value means the engine has none (Aho-Corasick, Wu-Manber,
+	// FFBF, Vector-DFC).
+	Accel AccelInfo
+}
+
+// AccelInfo summarizes the hot-path acceleration of a filtering engine:
+// which skip primitive compilation selected and how dense the rule
+// set's start windows are (the quantity that decides whether skipping
+// can pay — see the README's performance guide).
+type AccelInfo struct {
+	// Mode is the selected skip primitive: "index-byte"
+	// (bytes.IndexByte over at most 2 possible start bytes),
+	// "window-bitmap" (branchless L1-resident 2-byte-window bitmap), or
+	// "off" (density above break-even, acceleration disabled, or an
+	// engine without the layer).
+	Mode string
+	// Enabled reports whether scans actually use the skip loop.
+	Enabled bool
+	// WindowDensity is the fraction of the 2^16 possible 2-byte windows
+	// that can start a candidate — the expected viable-position rate on
+	// uniform traffic. StartBytes counts the byte values that can start
+	// a candidate window (out of 256).
+	WindowDensity float64
+	StartBytes    int
 }
 
 // Info reports the engine's summary. It serializes the engine to
@@ -195,6 +220,15 @@ func (e *Engine) Info() Info {
 	if s, ok := e.eng.(engine.Sizer); ok {
 		inf.MemoryBytes = s.MemoryFootprint()
 	}
+	if ar, ok := e.eng.(engine.AccelReporter); ok {
+		ai := ar.AccelInfo()
+		inf.Accel = AccelInfo{
+			Mode:          ai.Mode,
+			Enabled:       ai.Enabled,
+			WindowDensity: ai.WindowDensity,
+			StartBytes:    ai.StartBytes,
+		}
+	}
 	if blob, err := e.Serialize(); err == nil {
 		inf.SerializedBytes = len(blob)
 	}
@@ -207,9 +241,17 @@ func (i Info) String() string {
 	if i.VectorWidth > 0 {
 		w = fmt.Sprintf(" W=%d", i.VectorWidth)
 	}
-	return fmt.Sprintf("%s%s: %d patterns (max len %d), %s compiled state, %s serialized",
+	a := ""
+	if i.Accel.Mode != "" {
+		a = fmt.Sprintf(", accel %s", i.Accel.Mode)
+		if i.Accel.Enabled {
+			a += fmt.Sprintf(" (density %.3f, %d start bytes)",
+				i.Accel.WindowDensity, i.Accel.StartBytes)
+		}
+	}
+	return fmt.Sprintf("%s%s: %d patterns (max len %d), %s compiled state, %s serialized%s",
 		i.Algorithm, w, i.Patterns, i.MaxPatternLen,
-		fmtBytes(i.MemoryBytes), fmtBytes(i.SerializedBytes))
+		fmtBytes(i.MemoryBytes), fmtBytes(i.SerializedBytes), a)
 }
 
 // fmtBytes renders a byte count with a binary unit.

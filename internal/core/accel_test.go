@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vpatch/internal/accel"
+	"vpatch/internal/metrics"
+	"vpatch/internal/patterns"
+	"vpatch/internal/traffic"
+)
+
+// Property tests of the acceleration layer: every accelerated path —
+// fused window-bitmap, fused index-byte, the governor's plain
+// fallbacks, the instrumented engine-path skip, and the batch path —
+// must be match- and candidate-identical to the unaccelerated
+// ForceEngine reference, across widths, match densities and adversarial
+// edge inputs.
+
+// accelCases builds pattern sets exercising each skip mode.
+func accelCases() map[string]*patterns.Set {
+	web := patterns.GenerateS1(1).WebSubset().Subset(300, 1)
+
+	rare := patterns.NewSet()
+	rare.Add([]byte("\x00\x01evil"), false, patterns.ProtoGeneric)
+	rare.Add([]byte("\x00\x01BAD"), true, patterns.ProtoGeneric)
+	rare.Add([]byte("\x00"), false, patterns.ProtoGeneric) // 1-byte: final-byte special case
+
+	tiny := patterns.NewSet()
+	tiny.Add([]byte("ab"), false, patterns.ProtoGeneric)
+	tiny.Add([]byte("abcd"), true, patterns.ProtoGeneric)
+	tiny.Add([]byte("q"), false, patterns.ProtoGeneric)
+
+	return map[string]*patterns.Set{"web": web, "rare": rare, "tiny": tiny}
+}
+
+// accelInputs builds the adversarial input family for a set: random at
+// several densities, start bytes pinned to buffer edges, sub-4-byte
+// tails, governor-crossing mixes of dense and clean regions.
+func accelInputs(set *patterns.Set, rng *rand.Rand) [][]byte {
+	var inputs [][]byte
+	// Random buffers across the size ladder, including every sub-window
+	// length.
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 13, 63, 64, 65, 1000, 4096} {
+		b := make([]byte, n)
+		rng.Read(b)
+		inputs = append(inputs, b)
+	}
+	// Injected densities over random bases.
+	for _, frac := range []float64{0.1, 0.5, 1.0} {
+		b := traffic.Random(8192, rng.Int63())
+		traffic.InjectMatches(b, set, frac, rng.Int63())
+		inputs = append(inputs, b)
+	}
+	// Pattern occurrences pinned at buffer edges (first byte, last full
+	// window, and truncated at the very end).
+	for i := range set.Patterns() {
+		p := set.Patterns()[i].Data
+		b := make([]byte, 32+len(p))
+		rng.Read(b)
+		copy(b, p)                 // at offset 0
+		copy(b[len(b)-len(p):], p) // flush with the end
+		inputs = append(inputs, b)
+		if len(p) > 1 && len(p) <= 16 {
+			c := make([]byte, 16)
+			rng.Read(c)
+			copy(c[16-(len(p)-1):], p[:len(p)-1]) // truncated prefix at end
+			inputs = append(inputs, c)
+		}
+	}
+	// Governor-crossing input: alternating dense and clean regions far
+	// larger than the span, so accelerated spans, plain fallbacks and
+	// re-enables all occur within one scan.
+	mixed := make([]byte, 160<<10)
+	rng.Read(mixed)
+	for off := 0; off < len(mixed); off += 64 << 10 {
+		end := off + 32<<10
+		if end > len(mixed) {
+			end = len(mixed)
+		}
+		seg := mixed[off:end]
+		traffic.InjectMatches(seg, set, 1.0, rng.Int63())
+	}
+	inputs = append(inputs, mixed)
+	return inputs
+}
+
+// TestAccelFusedMatchesForceEngine is the acceleration fidelity
+// property: for every skip mode, width, density and adversarial edge
+// input, the accelerated fused paths produce candidate arrays
+// (aShort/aLong) and match streams identical to the unaccelerated
+// ForceEngine vec path, and the batch path stays per-buffer identical.
+func TestAccelFusedMatchesForceEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, set := range accelCases() {
+		for _, width := range []int{4, 8, 16} {
+			fast := NewVPatch(set, VOptions{Width: width})
+			ref := NewVPatch(set, VOptions{Width: width, ForceEngine: true})
+			if name == "rare" && fast.accel.Mode() != accel.ModeIndexByte {
+				t.Fatalf("rare set selected %v, want index-byte", fast.accel.Mode())
+			}
+			if name == "web" && fast.accel.Mode() != accel.ModeWindow {
+				t.Fatalf("web set selected %v, want window-bitmap", fast.accel.Mode())
+			}
+			inputs := accelInputs(set, rng)
+			for ii, input := range inputs {
+				fs, fl := fast.FilterOnly(input, nil, true)
+				rs, rl := ref.FilterOnly(input, nil, true)
+				if !equalInt32(fs, rs) || !equalInt32(fl, rl) {
+					t.Fatalf("%s W=%d input %d (len %d): candidate arrays diverge (accel %d/%d vs engine %d/%d)",
+						name, width, ii, len(input), len(fs), len(fl), len(rs), len(rl))
+				}
+				if fm, rm := fast.collect(input), ref.collect(input); !patterns.EqualMatches(fm, rm) {
+					t.Fatalf("%s W=%d input %d: matches diverge (%d vs %d)",
+						name, width, ii, len(fm), len(rm))
+				}
+			}
+			// Batch path: one call over the whole family must equal the
+			// reference scanned buffer by buffer.
+			type bm struct {
+				buf int
+				m   patterns.Match
+			}
+			var got []bm
+			fast.ScanBatch(inputs, nil, func(buf int, m patterns.Match) {
+				got = append(got, bm{buf, m})
+			})
+			var want []bm
+			for bi, input := range inputs {
+				ref.Scan(input, nil, func(m patterns.Match) { want = append(want, bm{bi, m}) })
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s W=%d: batch %d matches vs serial reference %d", name, width, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s W=%d: batch match %d = %+v, want %+v", name, width, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAccelSPatchMatchesPlain covers the S-PATCH rendition (split
+// probes) and its instrumented skip path against the plain kernels.
+func TestAccelSPatchMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, set := range accelCases() {
+		on := NewSPatch(set, Options{})
+		off := NewSPatch(set, Options{NoAccel: true})
+		for ii, input := range accelInputs(set, rng) {
+			os_, ol := on.FilterOnly(input, nil)
+			ps, pl := off.FilterOnly(input, nil)
+			if !equalInt32(os_, ps) || !equalInt32(ol, pl) {
+				t.Fatalf("%s input %d: S-PATCH candidates diverge", name, ii)
+			}
+			if a, b := on.collect(input), off.collect(input); !patterns.EqualMatches(a, b) {
+				t.Fatalf("%s input %d: S-PATCH matches diverge", name, ii)
+			}
+		}
+	}
+}
+
+// TestAccelInstrumentedIdentical: the instrumented paths (counters
+// attached — engine drive loop for V-PATCH, scalar loop with Next
+// skipping for S-PATCH) must emit the same matches as their fused
+// timing paths, and the skip accounting must cover every window.
+func TestAccelInstrumentedIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for name, set := range accelCases() {
+		vp := NewVPatch(set, VOptions{})
+		sp := NewSPatch(set, Options{})
+		for ii, input := range accelInputs(set, rng) {
+			var timed, counted []patterns.Match
+			vp.Scan(input, nil, func(m patterns.Match) { timed = append(timed, m) })
+			var vc metrics.Counters
+			vp.Scan(input, &vc, func(m patterns.Match) { counted = append(counted, m) })
+			if !patterns.EqualMatches(timed, counted) {
+				t.Fatalf("%s input %d: V-PATCH instrumented diverges", name, ii)
+			}
+			timed, counted = nil, nil
+			sp.Scan(input, nil, func(m patterns.Match) { timed = append(timed, m) })
+			var sc metrics.Counters
+			sp.Scan(input, &sc, func(m patterns.Match) { counted = append(counted, m) })
+			if !patterns.EqualMatches(timed, counted) {
+				t.Fatalf("%s input %d: S-PATCH instrumented diverges", name, ii)
+			}
+			if n := len(input); n > 1 {
+				// S-PATCH scalar loop: every window is either probed or
+				// skipped, never both, never neither.
+				if got := sc.Filter1Probes + sc.SkippedBytes; got != uint64(n-1) {
+					t.Fatalf("%s input %d: probes %d + skipped %d != %d windows",
+						name, ii, sc.Filter1Probes, sc.SkippedBytes, n-1)
+				}
+			}
+		}
+	}
+}
+
+// FuzzAccelFused fuzzes the fidelity property on arbitrary bytes: the
+// accelerated fused path must equal the ForceEngine reference for every
+// input and for both window and index-byte skip modes.
+func FuzzAccelFused(f *testing.F) {
+	f.Add([]byte("GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte("\x00\x01evil\x00\x01e"))
+	f.Add([]byte("abababababab"))
+	sets := accelCases()
+	type pair struct{ fast, ref *VPatch }
+	pairs := map[string]pair{}
+	for name, set := range sets {
+		pairs[name] = pair{
+			fast: NewVPatch(set, VOptions{}),
+			ref:  NewVPatch(set, VOptions{ForceEngine: true}),
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for name, p := range pairs {
+			fs, fl := p.fast.FilterOnly(data, nil, true)
+			rs, rl := p.ref.FilterOnly(data, nil, true)
+			if !equalInt32(fs, rs) || !equalInt32(fl, rl) {
+				t.Fatalf("%s: accelerated candidates diverge on %q", name, data)
+			}
+		}
+	})
+}

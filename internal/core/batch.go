@@ -222,25 +222,14 @@ func (m *VPatch) batchFilterStep(scr *Scratch, inputs [][]byte, cur *vec.Cursors
 }
 
 // fusedScanBatch is the timing-run rendition of the batch scan: the
-// fused filter chain run buffer by buffer, with the filter tables
-// resolved once for the whole batch and one emit adapter for all
-// buffers, so per-buffer match output is identical to the lane path
-// (tested) and the batch call is serial-scan work minus the per-packet
-// call and setup overhead that dominates small-packet scanning.
-// Candidates stay in the serial int32 arrays and verify per chunk,
-// exactly like a serial scan.
-//
-// The inner loop restates fusedFilterRange's store path with the
-// table pointers hoisted out of the per-buffer loop and the no-store
-// branch dropped — for sub-chunk buffers (one chunk per packet) those
-// per-call costs are the margin batch mode exists to save. Keep the two
-// loops in lockstep; TestScanBatchMatchesSerial and
-// TestVPatchBatchVariantsAgree fail on any divergence.
+// fused production kernel (fused.go — skip-loop acceleration plus the
+// SWAR probe chain, exactly the serial timing path) run buffer by
+// buffer with one emit adapter for the whole batch, so per-buffer match
+// output is identical to the lane path (tested) and the batch call is
+// serial-scan work minus the per-packet call and setup overhead that
+// dominates small-packet scanning. Candidates stay in the serial int32
+// arrays and verify per chunk, exactly like a serial scan.
 func (m *VPatch) fusedScanBatch(scr *Scratch, inputs [][]byte, emit engine.BatchEmitFunc) {
-	words := m.fs.Merged.Words()
-	f3 := m.fs.Filter3.Bytes()
-	shift := m.fs.Filter3.Shift()
-
 	buf := 0
 	var wrap patterns.EmitFunc
 	if emit != nil {
@@ -258,32 +247,7 @@ func (m *VPatch) fusedScanBatch(scr *Scratch, inputs [][]byte, emit engine.Batch
 			}
 			scr.aShort = scr.aShort[:0]
 			scr.aLong = scr.aLong[:0]
-			mainEnd := end
-			if n-3 < mainEnd {
-				mainEnd = n - 3 // positions with a full 4-byte window
-			}
-			i := start
-			for ; i < mainEnd; i++ {
-				idx := uint32(input[i]) | uint32(input[i+1])<<8
-				wd := words[idx>>3]
-				bit := idx & 7
-				if wd&(1<<bit) != 0 {
-					scr.aShort = append(scr.aShort, int32(i))
-				}
-				if wd&(1<<(bit+8)) != 0 {
-					v := uint32(input[i]) | uint32(input[i+1])<<8 |
-						uint32(input[i+2])<<16 | uint32(input[i+3])<<24
-					key := (v * bitarr.MulHashConst) >> shift
-					if f3[key>>3]&(1<<(key&7)) != 0 {
-						scr.aLong = append(scr.aLong, int32(i))
-					}
-				}
-			}
-			// Sub-register tail (and buffers shorter than 4 bytes
-			// entirely).
-			for ; i < end; i++ {
-				m.scalarFilterPos(scr, input, i, n, nil)
-			}
+			m.fusedRangeMerged(scr, input, start, end, true)
 			m.verifyCandidates(scr, input, nil, wrap)
 		}
 	}

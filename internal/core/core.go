@@ -27,6 +27,7 @@
 package core
 
 import (
+	"vpatch/internal/accel"
 	"vpatch/internal/bitarr"
 	"vpatch/internal/engine"
 	"vpatch/internal/filters"
@@ -61,6 +62,13 @@ type Scratch struct {
 	// sink absorbs filter masks in no-store mode (Fig. 6's
 	// "V-PATCH-filtering" variant) so the work is not dead-code.
 	sink uint32
+
+	// aq is the viable-position queue of the accelerated fused kernels
+	// (fused.go): accel.Extract compacts positions that pass the
+	// window-viability bitmap into it, and the probe chain drains it at
+	// the watermark. Scratch-resident so the hot path never pays the
+	// stack-array zeroing a local would cost on every call.
+	aq [accel.QueueLen]int32
 }
 
 // NewScratch allocates scan working memory sized for typical candidate
@@ -79,18 +87,27 @@ type common struct {
 	fs       *filters.SPatchSet
 	verifier *hashtab.Verifier
 	chunk    int
+
+	// accel is the skip-loop acceleration table derived from the merged
+	// filter-1/2 state (fused.go); noAccel is the runtime ablation
+	// switch that forces the plain kernels (not serialized — databases
+	// always load with acceleration rebuilt and enabled).
+	accel   *accel.Table
+	noAccel bool
 }
 
 func newCommon(set *patterns.Set, filter3Log2Bits uint, chunkSize int) common {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
-	return common{
+	c := common{
 		set:      set,
 		fs:       filters.BuildSPatch(set, filter3Log2Bits),
 		verifier: hashtab.Build(set),
 		chunk:    chunkSize,
 	}
+	c.buildAccel()
+	return c
 }
 
 // FilterSizeBytes reports the cache footprint of the filter stage.

@@ -37,7 +37,15 @@ func decodeCommon(d *dbfmt.Decoder, set *patterns.Set) common {
 	}
 	fs := filters.DecodeSPatch(d)
 	verifier := hashtab.DecodeVerifier(d, set)
-	return common{set: set, fs: fs, verifier: verifier, chunk: chunk}
+	c := common{set: set, fs: fs, verifier: verifier, chunk: chunk}
+	if fs != nil {
+		// The acceleration table is derived state: rebuild it from the
+		// decoded filters instead of trusting (or storing) it — loaded
+		// engines accelerate exactly like compiled ones, with no
+		// database format change.
+		c.buildAccel()
+	}
+	return c
 }
 
 // EncodeCompiled appends S-PATCH's compiled state (engine.DBCodec).

@@ -1,0 +1,650 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"vpatch/internal/accel"
+	"vpatch/internal/bitarr"
+)
+
+// The fused production kernels of the filtering round, shared by the
+// serial scan, FilterOnly and the batch scan. Timing runs (nil
+// counters, paper configuration) execute these instead of the per-op
+// emulated vector engine; candidate output is bit-identical either way
+// (property-tested against ForceEngine).
+//
+// Two layers compose here:
+//
+//   - The *plain* kernels restate the probe chain as SWAR-friendly
+//     code: one binary.LittleEndian.Uint64 load feeds the window
+//     formations of 5 consecutive positions (both the 2-byte filter
+//     index and the 4-byte filter-3 value of positions i..i+4 are
+//     shifts of the same register), slice headers are hoisted to
+//     fixed-size array pointers, and indexes are masked so the
+//     compiler can prove them in bounds (audited with
+//     -d=ssa/check_bce; see the note at the bottom of this file).
+//
+//   - The *accelerated* kernels put a skip loop in front of the probe
+//     chain, driven by the accel.Table derived from the merged
+//     filter-1/2 state at compile time. In window-bitmap mode the skip
+//     is branchless: each 8-byte register yields 5 viability bits from
+//     the L1-resident union bitmap (the probe chain's own 64 KB merged
+//     table thrashes L1; the 8 KB union bitmap does not), and viable
+//     positions are compacted into a small scratch-resident queue with
+//     prefix-sum stores — no data-dependent branch on the miss path at
+//     all — then drained through the probe chain at a cache-sized
+//     watermark. In index-byte mode (<= 2 possible start bytes) the
+//     skip is the runtime's assembly-backed bytes.IndexByte. A
+//     checkpoint governor (accel.SpanBytes/PlainBytes) measures the
+//     viable fraction per span and drops to the plain kernel when the
+//     traffic is too dense for skipping to pay, so match-heavy input
+//     costs at most a few percent over the plain path.
+//
+// The V-PATCH (merged-filter word fetch) and S-PATCH (split filter-1/
+// filter-2 probes) renditions are kept textually parallel; they differ
+// only in the probe chain. Keep them in lockstep.
+
+// mergedWords returns the merged filter storage as a fixed-size array
+// pointer: the 2^16-bit direct-filter domain always interleaves into
+// exactly 8192 words (enforced at database decode too), and the fixed
+// size lets the compiler drop bounds checks for idx&0xffff-derived
+// indexes.
+func (m *common) mergedWords() *[8192]uint16 {
+	return (*[8192]uint16)(m.fs.Merged.Words())
+}
+
+// filterBytes converts an 8 KB direct-filter byte array likewise.
+func filterBytes(b []byte) *[8192]byte { return (*[8192]byte)(b) }
+
+// buildAccel derives the acceleration table from the merged filter-1/2
+// state. Called at compile time and again after database decode (the
+// table is derived state and is not serialized — no format bump).
+func (m *common) buildAccel() {
+	mf := m.fs.Merged
+	m.accel = accel.Build(func(idx uint32) bool {
+		f1, f2 := mf.Test(idx)
+		return f1 || f2
+	})
+}
+
+// AccelInfo reports the engine's acceleration configuration
+// (engine.AccelReporter).
+func (m *common) AccelInfo() accel.Info {
+	if m.accel == nil {
+		return accel.Info{Mode: "off"}
+	}
+	inf := m.accel.Info()
+	if m.noAccel {
+		inf.Enabled = false
+		inf.Mode = "off"
+	}
+	return inf
+}
+
+// accelOn reports whether the fused kernels should use the skip loop.
+func (m *common) accelOn() bool {
+	return m.accel != nil && !m.noAccel && m.accel.Enabled()
+}
+
+// probeMerged runs the V-PATCH probe chain for one position with a full
+// 4-byte window in range (p <= len(input)-4): merged filter-1/2 word
+// fetch, speculative hashed filter-3 probe.
+func (m *common) probeMerged(scr *Scratch, input []byte, p int, stores bool) {
+	words := m.mergedWords()
+	f3 := m.fs.Filter3.Bytes()
+	f3mask := uint32(len(f3) - 1)
+	shift := m.fs.Filter3.Shift()
+	v4 := binary.LittleEndian.Uint32(input[p:])
+	idx := v4 & 0xffff
+	wd := words[(idx>>3)&8191]
+	bit := idx & 7
+	if wd&(1<<bit) != 0 {
+		if stores {
+			scr.aShort = append(scr.aShort, int32(p))
+		} else {
+			scr.sink ^= uint32(p)
+		}
+	}
+	if wd&(1<<(bit+8)) != 0 {
+		key := (v4 * bitarr.MulHashConst) >> shift
+		if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+			if stores {
+				scr.aLong = append(scr.aLong, int32(p))
+			} else {
+				scr.sink ^= uint32(p) << 8
+			}
+		}
+	}
+}
+
+// probeSplit is the S-PATCH rendition: separate filter-1 and filter-2
+// byte probes (the scalar algorithm performs two lookups per position;
+// merging them is V-PATCH's optimization and would quietly change what
+// the S-PATCH figures measure).
+func (m *common) probeSplit(scr *Scratch, input []byte, p int) {
+	f1 := filterBytes(m.fs.Filter1.Bytes())
+	f2 := filterBytes(m.fs.Filter2.Bytes())
+	f3 := m.fs.Filter3.Bytes()
+	f3mask := uint32(len(f3) - 1)
+	shift := m.fs.Filter3.Shift()
+	v4 := binary.LittleEndian.Uint32(input[p:])
+	idx := v4 & 0xffff
+	bit := idx & 7
+	if f1[(idx>>3)&8191]&(1<<bit) != 0 {
+		scr.aShort = append(scr.aShort, int32(p))
+	}
+	if f2[(idx>>3)&8191]&(1<<bit) != 0 {
+		key := (v4 * bitarr.MulHashConst) >> shift
+		if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+			scr.aLong = append(scr.aLong, int32(p))
+		}
+	}
+}
+
+// fusedRangeMerged is the V-PATCH fused filtering round over positions
+// [start, end): skip loop (when profitable), SWAR probe chain, scalar
+// tail for the final sub-window positions. Reads may extend up to 3
+// bytes past end (within input), exactly like the scalar algorithm.
+func (m *common) fusedRangeMerged(scr *Scratch, input []byte, start, end int, stores bool) {
+	n := len(input)
+	mainEnd := end
+	if n-3 < mainEnd {
+		mainEnd = n - 3 // positions with a full 4-byte window in range
+	}
+	if mainEnd < start {
+		mainEnd = start
+	}
+	i := start
+	if m.accelOn() {
+		if m.accel.Mode() == accel.ModeIndexByte {
+			m.accelIndexRangeMerged(scr, input, i, mainEnd, stores)
+		} else {
+			m.accelWindowRangeMerged(scr, input, i, mainEnd, stores)
+		}
+	} else {
+		m.plainRangeMerged(scr, input, i, mainEnd, stores)
+	}
+	// Positions with fewer than 4 bytes left: scalar chain with guards.
+	for i = mainEnd; i < end; i++ {
+		m.scalarFilterPos(scr, input, i, n, nil)
+	}
+}
+
+// plainRangeMerged is the unaccelerated V-PATCH probe loop over
+// [i, end), end <= len(input)-3: one 8-byte load feeds the window
+// formations of 5 consecutive positions.
+func (m *common) plainRangeMerged(scr *Scratch, input []byte, i, end int, stores bool) {
+	words := m.mergedWords()
+	f3 := m.fs.Filter3.Bytes()
+	f3mask := uint32(len(f3) - 1)
+	shift := m.fs.Filter3.Shift()
+	packEnd := end - 5
+	if lim := len(input) - 8; lim < packEnd {
+		packEnd = lim
+	}
+	for ; i <= packEnd; i += 5 {
+		v := binary.LittleEndian.Uint64(input[i:])
+		idx := uint32(v) & 0xffff
+		wd := words[(idx>>3)&8191]
+		bit := idx & 7
+		if wd&(1<<bit) != 0 {
+			if stores {
+				scr.aShort = append(scr.aShort, int32(i))
+			} else {
+				scr.sink ^= uint32(i)
+			}
+		}
+		if wd&(1<<(bit+8)) != 0 {
+			key := (uint32(v) * bitarr.MulHashConst) >> shift
+			if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+				if stores {
+					scr.aLong = append(scr.aLong, int32(i))
+				} else {
+					scr.sink ^= uint32(i) << 8
+				}
+			}
+		}
+		idx = uint32(v>>8) & 0xffff
+		wd = words[(idx>>3)&8191]
+		bit = idx & 7
+		if wd&(1<<bit) != 0 {
+			if stores {
+				scr.aShort = append(scr.aShort, int32(i+1))
+			} else {
+				scr.sink ^= uint32(i + 1)
+			}
+		}
+		if wd&(1<<(bit+8)) != 0 {
+			key := (uint32(v>>8) * bitarr.MulHashConst) >> shift
+			if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+				if stores {
+					scr.aLong = append(scr.aLong, int32(i+1))
+				} else {
+					scr.sink ^= uint32(i+1) << 8
+				}
+			}
+		}
+		idx = uint32(v>>16) & 0xffff
+		wd = words[(idx>>3)&8191]
+		bit = idx & 7
+		if wd&(1<<bit) != 0 {
+			if stores {
+				scr.aShort = append(scr.aShort, int32(i+2))
+			} else {
+				scr.sink ^= uint32(i + 2)
+			}
+		}
+		if wd&(1<<(bit+8)) != 0 {
+			key := (uint32(v>>16) * bitarr.MulHashConst) >> shift
+			if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+				if stores {
+					scr.aLong = append(scr.aLong, int32(i+2))
+				} else {
+					scr.sink ^= uint32(i+2) << 8
+				}
+			}
+		}
+		idx = uint32(v>>24) & 0xffff
+		wd = words[(idx>>3)&8191]
+		bit = idx & 7
+		if wd&(1<<bit) != 0 {
+			if stores {
+				scr.aShort = append(scr.aShort, int32(i+3))
+			} else {
+				scr.sink ^= uint32(i + 3)
+			}
+		}
+		if wd&(1<<(bit+8)) != 0 {
+			key := (uint32(v>>24) * bitarr.MulHashConst) >> shift
+			if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+				if stores {
+					scr.aLong = append(scr.aLong, int32(i+3))
+				} else {
+					scr.sink ^= uint32(i+3) << 8
+				}
+			}
+		}
+		idx = uint32(v>>32) & 0xffff
+		wd = words[(idx>>3)&8191]
+		bit = idx & 7
+		if wd&(1<<bit) != 0 {
+			if stores {
+				scr.aShort = append(scr.aShort, int32(i+4))
+			} else {
+				scr.sink ^= uint32(i + 4)
+			}
+		}
+		if wd&(1<<(bit+8)) != 0 {
+			key := (uint32(v>>32) * bitarr.MulHashConst) >> shift
+			if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+				if stores {
+					scr.aLong = append(scr.aLong, int32(i+4))
+				} else {
+					scr.sink ^= uint32(i+4) << 8
+				}
+			}
+		}
+	}
+	for ; i < end; i++ {
+		m.probeMerged(scr, input, i, stores)
+	}
+}
+
+// accelWindowRangeMerged processes [start, mainEnd) with the branchless
+// window-bitmap skip (accel.Extract): viable positions compact into the
+// scratch queue and drain through the probe chain at the queue
+// watermark. The loop runs in *bursts* sized so that neither the queue
+// nor the governor checkpoint can trip inside one — the burst interior
+// has no data-dependent branches at all. A checkpoint every
+// accel.SpanBytes evaluates the viable fraction and falls back to the
+// plain kernel for accel.PlainBytes when skipping stops paying.
+// mainEnd <= len(input)-3.
+func (m *common) accelWindowRangeMerged(scr *Scratch, input []byte, start, mainEnd int, stores bool) {
+	t := m.accel
+	q := &scr.aq
+	w := 0
+	i := start
+	packEnd := mainEnd - 5
+	if lim := len(input) - 8; lim < packEnd {
+		packEnd = lim
+	}
+	checkAt := i + accel.SpanBytes
+	spanStart := i
+	drained := 0 // viable positions drained since spanStart
+	for i <= packEnd {
+		// Bound the burst by queue room (5 stores per pack) and the
+		// governor checkpoint.
+		room := (accel.QueueLen - 5 - w) / 5 // packs until possible overflow
+		if room == 0 {
+			drained += w
+			m.drainMerged(scr, input, q[:w], stores)
+			w = 0
+			continue
+		}
+		// limit is the last allowed pack start: capped by queue room,
+		// the range end, and the checkpoint (a pack may start at
+		// checkAt, so i always crosses it — forward progress).
+		limit := i + (room-1)*5
+		if packEnd < limit {
+			limit = packEnd
+		}
+		if checkAt < limit {
+			limit = checkAt
+		}
+		i, w = t.Extract(input, i, limit, q, w)
+		if w >= accel.QueueLen-5 {
+			drained += w
+			m.drainMerged(scr, input, q[:w], stores)
+			w = 0
+		}
+		if i >= checkAt {
+			// Governor checkpoint: the queue content counts toward the
+			// span's viable positions without being drained (it carries
+			// across accelerated spans).
+			if !accel.KeepAccel(drained+w, i-spanStart) {
+				drained += w
+				m.drainMerged(scr, input, q[:w], stores)
+				w = 0
+				plainEnd := i + accel.PlainBytes
+				if plainEnd > mainEnd {
+					plainEnd = mainEnd
+				}
+				m.plainRangeMerged(scr, input, i, plainEnd, stores)
+				i = plainEnd
+			}
+			spanStart = i
+			drained = 0
+			checkAt = i + accel.SpanBytes
+		}
+	}
+	m.drainMerged(scr, input, q[:w], stores)
+	// Remainder: fewer than 8 loadable bytes left; probe per position.
+	for ; i < mainEnd; i++ {
+		m.probeMerged(scr, input, i, stores)
+	}
+}
+
+// accelIndexRangeMerged processes [start, mainEnd) with bytes.IndexByte
+// skipping over the rare start-byte list, with the same governor. Hits
+// funnel through the queue and the table-hoisted drain (position order
+// preserved) instead of paying per-position table setup.
+// mainEnd <= len(input)-3.
+func (m *common) accelIndexRangeMerged(scr *Scratch, input []byte, start, mainEnd int, stores bool) {
+	t := m.accel
+	q := &scr.aq
+	i := start
+	for i < mainEnd {
+		spanEnd := i + accel.SpanBytes
+		if spanEnd > mainEnd {
+			spanEnd = mainEnd
+		}
+		spanLen := spanEnd - i
+		viable := 0
+		w := 0
+		for i < spanEnd {
+			j := t.Next(input, i, spanEnd)
+			i = j
+			if i >= spanEnd {
+				break
+			}
+			viable++
+			q[w&accel.QueueMask] = int32(i)
+			w++
+			if w >= accel.QueueLen {
+				m.drainMerged(scr, input, q[:w], stores)
+				w = 0
+			}
+			i++
+		}
+		m.drainMerged(scr, input, q[:w], stores)
+		if !accel.KeepAccelIndex(viable, spanLen) {
+			plainEnd := i + accel.PlainBytes
+			if plainEnd > mainEnd {
+				plainEnd = mainEnd
+			}
+			m.plainRangeMerged(scr, input, i, plainEnd, stores)
+			i = plainEnd
+		}
+	}
+}
+
+// drainMerged replays queued viable positions through the V-PATCH probe
+// chain, in position order. One 4-byte load per position serves both
+// window formations; filter 3 is only consulted behind the filter-2
+// bit, exactly like the plain chain.
+func (m *common) drainMerged(scr *Scratch, input []byte, q []int32, stores bool) {
+	words := m.mergedWords()
+	f3 := m.fs.Filter3.Bytes()
+	f3mask := uint32(len(f3) - 1)
+	shift := m.fs.Filter3.Shift()
+	for _, p := range q {
+		pp := int(p)
+		v4 := binary.LittleEndian.Uint32(input[pp:])
+		idx := v4 & 0xffff
+		wd := words[(idx>>3)&8191]
+		bit := idx & 7
+		if wd&(1<<bit) != 0 {
+			if stores {
+				scr.aShort = append(scr.aShort, p)
+			} else {
+				scr.sink ^= uint32(pp)
+			}
+		}
+		if wd&(1<<(bit+8)) != 0 {
+			key := (v4 * bitarr.MulHashConst) >> shift
+			if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+				if stores {
+					scr.aLong = append(scr.aLong, p)
+				} else {
+					scr.sink ^= uint32(pp) << 8
+				}
+			}
+		}
+	}
+}
+
+// --- S-PATCH renditions (split filter-1/filter-2 probes) ---
+
+// fusedRangeSplit is the S-PATCH fused filtering round over [start,
+// end): the same skip/SWAR/tail structure as fusedRangeMerged with the
+// scalar algorithm's two separate filter probes. S-PATCH has no
+// no-store measurement mode, so candidates always store.
+func (m *common) fusedRangeSplit(scr *Scratch, input []byte, start, end int) {
+	n := len(input)
+	mainEnd := end
+	if n-3 < mainEnd {
+		mainEnd = n - 3
+	}
+	if mainEnd < start {
+		mainEnd = start
+	}
+	i := start
+	if m.accelOn() {
+		if m.accel.Mode() == accel.ModeIndexByte {
+			m.accelIndexRangeSplit(scr, input, i, mainEnd)
+		} else {
+			m.accelWindowRangeSplit(scr, input, i, mainEnd)
+		}
+	} else {
+		m.plainRangeSplit(scr, input, i, mainEnd)
+	}
+	for i = mainEnd; i < end; i++ {
+		m.scalarFilterPos(scr, input, i, n, nil)
+	}
+}
+
+// plainRangeSplit is the unaccelerated S-PATCH probe loop over [i, end),
+// end <= len(input)-3, with the same 5-windows-per-load SWAR structure
+// as plainRangeMerged.
+func (m *common) plainRangeSplit(scr *Scratch, input []byte, i, end int) {
+	f1 := filterBytes(m.fs.Filter1.Bytes())
+	f2 := filterBytes(m.fs.Filter2.Bytes())
+	f3 := m.fs.Filter3.Bytes()
+	f3mask := uint32(len(f3) - 1)
+	shift := m.fs.Filter3.Shift()
+	packEnd := end - 5
+	if lim := len(input) - 8; lim < packEnd {
+		packEnd = lim
+	}
+	for ; i <= packEnd; i += 5 {
+		v := binary.LittleEndian.Uint64(input[i:])
+		for k := 0; k < 5; k++ {
+			idx := uint32(v>>(8*uint(k))) & 0xffff
+			bit := idx & 7
+			if f1[(idx>>3)&8191]&(1<<bit) != 0 {
+				scr.aShort = append(scr.aShort, int32(i+k))
+			}
+			if f2[(idx>>3)&8191]&(1<<bit) != 0 {
+				v4 := uint32(v >> (8 * uint(k)))
+				key := (v4 * bitarr.MulHashConst) >> shift
+				if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+					scr.aLong = append(scr.aLong, int32(i+k))
+				}
+			}
+		}
+	}
+	for ; i < end; i++ {
+		m.probeSplit(scr, input, i)
+	}
+}
+
+// accelWindowRangeSplit mirrors accelWindowRangeMerged for S-PATCH.
+func (m *common) accelWindowRangeSplit(scr *Scratch, input []byte, start, mainEnd int) {
+	t := m.accel
+	q := &scr.aq
+	w := 0
+	i := start
+	packEnd := mainEnd - 5
+	if lim := len(input) - 8; lim < packEnd {
+		packEnd = lim
+	}
+	checkAt := i + accel.SpanBytes
+	spanStart := i
+	drained := 0
+	for i <= packEnd {
+		room := (accel.QueueLen - 5 - w) / 5
+		if room == 0 {
+			drained += w
+			m.drainSplit(scr, input, q[:w])
+			w = 0
+			continue
+		}
+		limit := i + (room-1)*5
+		if packEnd < limit {
+			limit = packEnd
+		}
+		if checkAt < limit {
+			limit = checkAt
+		}
+		i, w = t.Extract(input, i, limit, q, w)
+		if w >= accel.QueueLen-5 {
+			drained += w
+			m.drainSplit(scr, input, q[:w])
+			w = 0
+		}
+		if i >= checkAt {
+			if !accel.KeepAccel(drained+w, i-spanStart) {
+				drained += w
+				m.drainSplit(scr, input, q[:w])
+				w = 0
+				plainEnd := i + accel.PlainBytes
+				if plainEnd > mainEnd {
+					plainEnd = mainEnd
+				}
+				m.plainRangeSplit(scr, input, i, plainEnd)
+				i = plainEnd
+			}
+			spanStart = i
+			drained = 0
+			checkAt = i + accel.SpanBytes
+		}
+	}
+	m.drainSplit(scr, input, q[:w])
+	for ; i < mainEnd; i++ {
+		m.probeSplit(scr, input, i)
+	}
+}
+
+// accelIndexRangeSplit mirrors accelIndexRangeMerged for S-PATCH.
+func (m *common) accelIndexRangeSplit(scr *Scratch, input []byte, start, mainEnd int) {
+	t := m.accel
+	q := &scr.aq
+	i := start
+	for i < mainEnd {
+		spanEnd := i + accel.SpanBytes
+		if spanEnd > mainEnd {
+			spanEnd = mainEnd
+		}
+		spanLen := spanEnd - i
+		viable := 0
+		w := 0
+		for i < spanEnd {
+			j := t.Next(input, i, spanEnd)
+			i = j
+			if i >= spanEnd {
+				break
+			}
+			viable++
+			q[w&accel.QueueMask] = int32(i)
+			w++
+			if w >= accel.QueueLen {
+				m.drainSplit(scr, input, q[:w])
+				w = 0
+			}
+			i++
+		}
+		m.drainSplit(scr, input, q[:w])
+		if !accel.KeepAccelIndex(viable, spanLen) {
+			plainEnd := i + accel.PlainBytes
+			if plainEnd > mainEnd {
+				plainEnd = mainEnd
+			}
+			m.plainRangeSplit(scr, input, i, plainEnd)
+			i = plainEnd
+		}
+	}
+}
+
+// drainSplit replays queued viable positions through the S-PATCH probe
+// chain, in position order (two filter byte fetches instead of one
+// merged word fetch).
+func (m *common) drainSplit(scr *Scratch, input []byte, q []int32) {
+	f1 := filterBytes(m.fs.Filter1.Bytes())
+	f2 := filterBytes(m.fs.Filter2.Bytes())
+	f3 := m.fs.Filter3.Bytes()
+	f3mask := uint32(len(f3) - 1)
+	shift := m.fs.Filter3.Shift()
+	for _, p := range q {
+		pp := int(p)
+		v4 := binary.LittleEndian.Uint32(input[pp:])
+		idx := v4 & 0xffff
+		bit := idx & 7
+		if f1[(idx>>3)&8191]&(1<<bit) != 0 {
+			scr.aShort = append(scr.aShort, p)
+		}
+		if f2[(idx>>3)&8191]&(1<<bit) != 0 {
+			key := (v4 * bitarr.MulHashConst) >> shift
+			if f3[(key>>3)&f3mask]&(1<<(key&7)) != 0 {
+				scr.aLong = append(scr.aLong, p)
+			}
+		}
+	}
+}
+
+// Bounds-check-elimination audit (go build -gcflags=-d=ssa/check_bce).
+// Direct-filter and union-bitmap indexes are masked into their
+// fixed-size array-pointer domains ((idx>>3)&8191 for the 8 KB filter
+// arrays, (w>>6)&1023 for the union bitmap, w&QueueMask for queue
+// stores) — the prove pass does not carry the idx&0xffff range through
+// the later shift, so the masks are load-bearing; the compiler folds
+// them into the existing address arithmetic. The checks that remain are
+// unavoidable and amortized:
+//   - one binary.LittleEndian.Uint64 bounded access per 5-position pack
+//     (the compiler cannot see packEnd+8 <= len(input) through the min
+//     of two derivations);
+//   - the binary.LittleEndian.Uint32 reads at queued/drained positions
+//     (queue entries are data the prove pass cannot follow);
+//   - filter-3 probes (the filter is runtime-sized; its key is masked
+//     with f3mask, which the compiler cannot know equals len-1), taken
+//     only behind a filter-2 hit;
+//   - one q[:w] re-slice per drain.

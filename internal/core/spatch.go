@@ -31,11 +31,17 @@ type Options struct {
 	Filter3Log2Bits uint
 	// ChunkSize is the filtering-round granularity; 0 selects 64 KB.
 	ChunkSize int
+	// NoAccel disables the skip-loop acceleration layer (fused.go),
+	// forcing the plain probe loops. Ablation/benchmark switch; not
+	// serialized.
+	NoAccel bool
 }
 
 // NewSPatch compiles the pattern set.
 func NewSPatch(set *patterns.Set, opt Options) *SPatch {
-	return &SPatch{common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize)}
+	m := &SPatch{common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize)}
+	m.noAccel = opt.NoAccel
+	return m
 }
 
 // builtinScratch lazily allocates the scratch behind the scratch-less
@@ -90,12 +96,40 @@ func (m *SPatch) scan(scr *Scratch, input []byte, c *metrics.Counters, emit patt
 }
 
 // filterChunk runs the filtering round over positions [start, end),
-// filling the candidate arrays.
+// filling the candidate arrays. Timing runs (nil counters) take the
+// fused production kernel (fused.go) — skip loop plus SWAR probe chain
+// with S-PATCH's split filter-1/filter-2 probes; instrumented runs keep
+// the per-position scalar chain, skipping ahead of provably-impossible
+// positions with the acceleration table and counting the skips.
 func (m *SPatch) filterChunk(scr *Scratch, input []byte, start, end int, c *metrics.Counters) {
 	scr.aShort = scr.aShort[:0]
 	scr.aLong = scr.aLong[:0]
+	if c == nil {
+		m.fusedRangeSplit(scr, input, start, end)
+		return
+	}
 	n := len(input)
+	t := m.accel
+	useAccel := t != nil && t.Enabled() && !m.noAccel
+	// Window-viability skipping needs a full 2-byte window; the final
+	// byte (HasLen1 special case) always reaches the scalar chain.
+	skipEnd := end
+	if n-1 < skipEnd {
+		skipEnd = n - 1
+	}
 	for i := start; i < end; i++ {
+		if useAccel && i < skipEnd && !t.ViableAt(input, i) {
+			j := t.Next(input, i+1, skipEnd)
+			c.AccelChances++
+			c.SkippedBytes += uint64(j - i)
+			if j-i >= 8 {
+				c.AccelRuns++
+			}
+			i = j
+			if i >= end {
+				break
+			}
+		}
 		m.scalarFilterPos(scr, input, i, n, c)
 	}
 	m.recordCandidates(scr, c)

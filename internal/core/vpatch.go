@@ -70,8 +70,14 @@ type VOptions struct {
 	// merged filter word fetch + speculative filter 3, lane at a time —
 	// because Go cannot express the register ops natively and the
 	// per-op emulation overhead would otherwise swamp the measurement.
-	// Candidate output is bit-identical either way (tested).
+	// Candidate output is bit-identical either way (tested). ForceEngine
+	// also disables the acceleration layer, making it the reference
+	// rendition the accelerated paths are property-tested against.
 	ForceEngine bool
+	// NoAccel disables the skip-loop acceleration layer (fused.go),
+	// forcing the plain probe kernels. Ablation/benchmark switch; not
+	// serialized (databases load with acceleration rebuilt and on).
+	NoAccel bool
 }
 
 // NewVPatch compiles the pattern set.
@@ -79,11 +85,13 @@ func NewVPatch(set *patterns.Set, opt VOptions) *VPatch {
 	if opt.Width == 0 {
 		opt.Width = 8
 	}
-	return &VPatch{
+	m := &VPatch{
 		common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize),
 		eng:    vec.New(opt.Width),
 		opt:    opt,
 	}
+	m.noAccel = opt.NoAccel
+	return m
 }
 
 // builtinScratch lazily allocates the scratch behind the scratch-less
@@ -175,11 +183,20 @@ func (m *VPatch) FilterOnly(input []byte, c *metrics.Counters, stores bool) (sho
 // [start, end). Reads may extend up to 3 bytes past end (within input)
 // because 4-byte windows straddle the chunk boundary, exactly like the
 // scalar algorithm.
+//
+// Timing runs (nil counters, paper configuration) take the fused
+// production kernel (fused.go): the same merged-word + speculative
+// filter-3 computation with the skip-loop acceleration layer in front.
+// Instrumented runs execute the explicit vector engine; unless
+// ForceEngine pins the paper-faithful reference rendition, they skip
+// ahead of each vector block with the same acceleration table, counting
+// SkippedBytes/AccelChances/AccelRuns for the density story and the
+// cost model. Candidate output is bit-identical on every path (tested).
 func (m *VPatch) filterChunk(scr *Scratch, input []byte, start, end int, c *metrics.Counters, stores bool) {
 	scr.aShort = scr.aShort[:0]
 	scr.aLong = scr.aLong[:0]
 	if c == nil && !m.opt.ForceEngine && !m.opt.NoFilterMerge && !m.opt.BranchyFilter3 {
-		m.fusedFilterRange(scr, input, start, end, stores)
+		m.fusedRangeMerged(scr, input, start, end, stores)
 		return
 	}
 	n := len(input)
@@ -192,72 +209,46 @@ func (m *VPatch) filterChunk(scr *Scratch, input []byte, start, end int, c *metr
 		vecEnd = lim
 	}
 	i := start
-	if !m.opt.NoUnroll {
-		// 2x unroll: two W-position blocks per iteration (two
-		// independent register pipelines, paper §IV-B last paragraph).
-		for ; i+w <= vecEnd; i += 2 * w {
+	if t := m.accel; t != nil && t.Enabled() && !m.noAccel && !m.opt.ForceEngine {
+		// Accelerated drive loop: jump each vector block to the next
+		// viable start position; the skipped positions cannot produce
+		// candidates (their windows fail every loop-head filter).
+		for i <= vecEnd {
+			if !t.ViableAt(input, i) {
+				j := t.Next(input, i+1, vecEnd+1)
+				if c != nil {
+					c.AccelChances++
+					c.SkippedBytes += uint64(j - i)
+					if j-i >= 8 {
+						c.AccelRuns++
+					}
+				}
+				i = j
+				if i > vecEnd {
+					break
+				}
+			}
 			m.filterBlock(scr, input, i, c, stores)
-			m.filterBlock(scr, input, i+w, c, stores)
+			i += w
 		}
-	}
-	for ; i <= vecEnd; i += w {
-		m.filterBlock(scr, input, i, c, stores)
+	} else {
+		if !m.opt.NoUnroll {
+			// 2x unroll: two W-position blocks per iteration (two
+			// independent register pipelines, paper §IV-B last paragraph).
+			for ; i+w <= vecEnd; i += 2 * w {
+				m.filterBlock(scr, input, i, c, stores)
+				m.filterBlock(scr, input, i+w, c, stores)
+			}
+		}
+		for ; i <= vecEnd; i += w {
+			m.filterBlock(scr, input, i, c, stores)
+		}
 	}
 	// Scalar tail: the final sub-register positions of the chunk.
 	for ; i < end; i++ {
 		m.scalarFilterPos(scr, input, i, n, c)
 	}
 	m.recordCandidates(scr, c)
-}
-
-// fusedFilterRange is the timing-run rendition of the vector filtering
-// round: exactly the computation filterBlock performs — one merged
-// filter-1/2 word fetch per window, speculative hashed filter-3 probe —
-// expressed as a fused loop instead of per-op emulated registers. It
-// produces bit-identical candidate arrays (see TestCandidateArraysIdentical)
-// and carries V-PATCH's two structural advantages over S-PATCH that
-// survive without SIMD hardware: half the filter lookups (merging) and a
-// branch-light inner loop. fusedScanBatch (batch.go) restates this
-// chain with batch-hoisted table pointers — keep the two in lockstep.
-func (m *VPatch) fusedFilterRange(scr *Scratch, input []byte, start, end int, stores bool) {
-	words := m.fs.Merged.Words()
-	f3 := m.fs.Filter3.Bytes()
-	shift := m.fs.Filter3.Shift()
-	n := len(input)
-
-	mainEnd := end
-	if n-3 < mainEnd {
-		mainEnd = n - 3 // positions with a full 4-byte window in range
-	}
-	i := start
-	for ; i < mainEnd; i++ {
-		idx := uint32(input[i]) | uint32(input[i+1])<<8
-		wd := words[idx>>3]
-		bit := idx & 7
-		if wd&(1<<bit) != 0 {
-			if stores {
-				scr.aShort = append(scr.aShort, int32(i))
-			} else {
-				scr.sink ^= uint32(i)
-			}
-		}
-		if wd&(1<<(bit+8)) != 0 {
-			v := uint32(input[i]) | uint32(input[i+1])<<8 |
-				uint32(input[i+2])<<16 | uint32(input[i+3])<<24
-			key := (v * bitarr.MulHashConst) >> shift
-			if f3[key>>3]&(1<<(key&7)) != 0 {
-				if stores {
-					scr.aLong = append(scr.aLong, int32(i))
-				} else {
-					scr.sink ^= uint32(i) << 8
-				}
-			}
-		}
-	}
-	// Positions with fewer than 4 bytes left: scalar chain with guards.
-	for ; i < end; i++ {
-		m.scalarFilterPos(scr, input, i, n, nil)
-	}
 }
 
 // filterBlock filters the W positions base..base+W-1 (Algorithm 2 body).

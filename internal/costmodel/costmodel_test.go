@@ -216,3 +216,41 @@ func TestHaswellParametersSane(t *testing.T) {
 		t.Fatal("in-order Phi must have lower ILP than OOO Haswell")
 	}
 }
+
+func TestSkipLoopPricing(t *testing.T) {
+	// An accelerated run replaces probe work with cheap skip work: for
+	// the same input volume, a run where the accelerator cleared most
+	// positions must model faster than one that probed them all, and
+	// the skip charge must appear in the breakdown.
+	bytes := uint64(1 << 20)
+	plain := &metrics.Counters{
+		BytesScanned:  bytes,
+		Filter1Probes: bytes, Filter2Probes: bytes,
+	}
+	accel := &metrics.Counters{
+		BytesScanned:  bytes,
+		Filter1Probes: bytes / 10, Filter2Probes: bytes / 10,
+		SkippedBytes: bytes * 9 / 10, AccelChances: bytes / 100, AccelRuns: bytes / 200,
+	}
+	in := func(c *metrics.Counters) Inputs {
+		return Inputs{Kind: KindSPatch, Counters: c, FilterBytes: 24 << 10, HTBytes: 4 << 20}
+	}
+	p := Estimate(Haswell, in(plain))
+	a := Estimate(Haswell, in(accel))
+	if a.Gbps <= p.Gbps {
+		t.Fatalf("accelerated run must model faster: accel %.2f <= plain %.2f", a.Gbps, p.Gbps)
+	}
+	if a.Breakdown["accel"] <= 0 {
+		t.Fatalf("skip loop not priced: %v", a.Breakdown)
+	}
+	if p.Breakdown["accel"] != 0 {
+		t.Fatalf("unaccelerated run must not be charged for skipping: %v", p.Breakdown)
+	}
+	// The whole point of the layer: a skipped byte must cost less than
+	// the probes it displaces on both platforms.
+	for _, pl := range []Platform{Haswell, XeonPhi} {
+		if pl.SkipByteCost >= 2*pl.probeCost()*pl.ILP {
+			t.Fatalf("%s: skip byte cost %.2f not below displaced probe cost", pl.Name, pl.SkipByteCost)
+		}
+	}
+}

@@ -31,7 +31,11 @@ func Decode(d *dbfmt.Decoder, set *patterns.Set) (*Matcher, error) {
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}
-	return &Matcher{set: set, fs: fs, verifier: verifier}, nil
+	m := &Matcher{set: set, fs: fs, verifier: verifier}
+	// The acceleration table is derived state: rebuild from the decoded
+	// initial filter (no format change).
+	m.buildAccel()
+	return m, nil
 }
 
 // EncodeCompiled appends Vector-DFC's compiled state (engine.DBCodec).

@@ -137,12 +137,32 @@ func TestScalarVectorSameMatches(t *testing.T) {
 }
 
 func TestFilterProbesOncePerPosition(t *testing.T) {
+	// Every 2-byte window is either probed or proven impossible and
+	// skipped by the acceleration layer; the two must account for
+	// exactly one event per window.
 	m := Build(patterns.FromStrings("qqqq"))
 	var c metrics.Counters
 	input := make([]byte, 1000)
 	m.Scan(input, &c, nil)
-	if c.Filter1Probes != 999 { // one per 2-byte window
-		t.Fatalf("Filter1Probes = %d, want 999", c.Filter1Probes)
+	if c.Filter1Probes+c.SkippedBytes != 999 {
+		t.Fatalf("Filter1Probes %d + SkippedBytes %d != 999 windows",
+			c.Filter1Probes, c.SkippedBytes)
+	}
+	// A single-pattern set accelerates with bytes.IndexByte over the one
+	// start byte; on all-zero input everything skips in one run.
+	if c.SkippedBytes != 999 || c.AccelChances == 0 || c.AccelRuns == 0 {
+		t.Fatalf("skip accounting: %+v", c)
+	}
+	// Input that defeats skipping (every byte viable) probes every window.
+	c.Reset()
+	hot := make([]byte, 500)
+	for i := range hot {
+		hot[i] = 'q'
+	}
+	m.Scan(hot, &c, nil)
+	if c.Filter1Probes != 499 || c.SkippedBytes != 0 {
+		t.Fatalf("dense input: probes %d skipped %d, want 499/0",
+			c.Filter1Probes, c.SkippedBytes)
 	}
 }
 

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"vpatch/internal/accel"
 	"vpatch/internal/dbfmt"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
@@ -58,6 +59,14 @@ type DBCodec interface {
 // by the public Engine.Info.
 type Sizer interface {
 	MemoryFootprint() int
+}
+
+// AccelReporter is implemented by engines that carry a skip-loop
+// acceleration layer (S-PATCH, V-PATCH, DFC). Used by the public
+// Engine.Info to surface the selected skip mode and the rule set's
+// start-window density.
+type AccelReporter interface {
+	AccelInfo() accel.Info
 }
 
 // BatchEmitFunc receives matches found by a batch scan: buf is the

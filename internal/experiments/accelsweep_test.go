@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The sweep's structural claims are deterministic (counter-based); the
+// wall-clock columns are only sanity-checked for presence, never for
+// magnitude, so the test is immune to machine noise.
+func TestAccelSweepShape(t *testing.T) {
+	set := testSet(t)
+	rows := AccelSweep(testCfg, set, []float64{0, 1.0}, []int{1514, 64 << 10}, 8)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	bySize := map[int]map[float64]AccelSweepRow{}
+	for _, r := range rows {
+		if r.PlainGbps <= 0 || r.AccelGbps <= 0 {
+			t.Fatalf("empty throughput cell: %+v", r)
+		}
+		if bySize[r.BufBytes] == nil {
+			bySize[r.BufBytes] = map[float64]AccelSweepRow{}
+		}
+		bySize[r.BufBytes][r.MatchFrac] = r
+	}
+	for size, cells := range bySize {
+		clean, dense := cells[0], cells[1.0]
+		// Clean random traffic against the 2K web set: the union bitmap
+		// rejects ~94% of windows, so the skip ratio must be high and
+		// skipping must clear real runs.
+		if clean.SkipFrac < 0.5 {
+			t.Errorf("size %d: clean skip fraction %.3f, want > 0.5", size, clean.SkipFrac)
+		}
+		if clean.AccelRuns == 0 {
+			t.Errorf("size %d: clean traffic produced no skip runs", size)
+		}
+		// Density collapses the skip ratio — the Fig.-5c-style story.
+		if dense.SkipFrac >= clean.SkipFrac {
+			t.Errorf("size %d: skip fraction did not fall with density (%.3f -> %.3f)",
+				size, clean.SkipFrac, dense.SkipFrac)
+		}
+	}
+}
+
+func TestAccelSweepPrintAndCSV(t *testing.T) {
+	set := testSet(t)
+	cfg := Config{TrafficBytes: 64 << 10, Seed: 1, Repeats: 1}
+	rows := AccelSweep(cfg, set, []float64{0}, []int{64 << 10}, 8)
+	var buf bytes.Buffer
+	PrintAccelSweep(&buf, "accel sweep", rows)
+	if !strings.Contains(buf.String(), "skip_frac") {
+		t.Fatalf("print output missing columns:\n%s", buf.String())
+	}
+	dir := t.TempDir()
+	if err := WriteAccelSweepCSV(dir, "accel.csv", rows); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -85,15 +85,21 @@ type Algo struct {
 
 // BuildAlgos compiles the paper's five algorithms for a pattern set.
 // width selects the vector lane count for the vectorized pair (0 = 8).
+//
+// The figure reproductions deliberately build the matchers *without*
+// the skip-loop acceleration layer: the paper's algorithms pay a probe
+// per position, and both the wall-clock and the modeled bars are meant
+// to reproduce that design. The acceleration layer has its own
+// experiment (AccelSweep) and benchmarks (BenchmarkAccel*).
 func BuildAlgos(set *patterns.Set, width int) []Algo {
 	if width == 0 {
 		width = 8
 	}
 	ac := ahocorasick.Build(set, ahocorasick.Options{})
-	d := dfc.Build(set)
+	d := dfc.Build(set).WithoutAccel()
 	vd := dfc.BuildVector(set, width)
-	sp := core.NewSPatch(set, core.Options{})
-	vp := core.NewVPatch(set, core.VOptions{Width: width})
+	sp := core.NewSPatch(set, core.Options{NoAccel: true})
+	vp := core.NewVPatch(set, core.VOptions{Width: width, NoAccel: true})
 	htBytes := d.Verifier().MemoryFootprint()
 	return []Algo{
 		{
@@ -222,8 +228,8 @@ func Fig5a(cfg Config, full *patterns.Set, counts []int, platform costmodel.Plat
 	for _, n := range counts {
 		sub := full.Subset(n, cfg.Seed)
 		data := traffic.Synthesize(traffic.ISCXDay2, cfg.TrafficBytes, cfg.Seed, sub)
-		sp := core.NewSPatch(sub, core.Options{})
-		vp := core.NewVPatch(sub, core.VOptions{Width: width})
+		sp := core.NewSPatch(sub, core.Options{NoAccel: true})
+		vp := core.NewVPatch(sub, core.VOptions{Width: width, NoAccel: true})
 		ht := dfc.Build(sub).Verifier().MemoryFootprint()
 		aS := Algo{Kind: costmodel.KindSPatch,
 			Scan:        func(in []byte, c *metrics.Counters) { sp.Scan(in, c, nil) },
@@ -290,8 +296,8 @@ type Fig5cPoint struct {
 // sweeps the fraction of the input covered by injected matches.
 func Fig5c(cfg Config, set *patterns.Set, fracs []float64, platform costmodel.Platform, width int) []Fig5cPoint {
 	cfg = cfg.withDefaults()
-	sp := core.NewSPatch(set, core.Options{})
-	vp := core.NewVPatch(set, core.VOptions{Width: width})
+	sp := core.NewSPatch(set, core.Options{NoAccel: true})
+	vp := core.NewVPatch(set, core.VOptions{Width: width, NoAccel: true})
 	ht := dfc.Build(set).Verifier().MemoryFootprint()
 	aS := Algo{Kind: costmodel.KindSPatch,
 		Scan:        func(in []byte, c *metrics.Counters) { sp.Scan(in, c, nil) },
@@ -331,8 +337,8 @@ type Fig6Cell struct {
 // full 20K sets).
 func Fig6(cfg Config, set *patterns.Set, platform costmodel.Platform, width int) []Fig6Cell {
 	cfg = cfg.withDefaults()
-	sp := core.NewSPatch(set, core.Options{})
-	vp := core.NewVPatch(set, core.VOptions{Width: width})
+	sp := core.NewSPatch(set, core.Options{NoAccel: true})
+	vp := core.NewVPatch(set, core.VOptions{Width: width, NoAccel: true})
 	variants := []struct {
 		name string
 		kind costmodel.Kind

@@ -48,6 +48,19 @@ type Counters struct {
 	BatchIters       uint64
 	BatchActiveLanes uint64
 
+	// Skip-loop acceleration (the hot-path layer in front of the
+	// filter probes). SkippedBytes counts input positions the
+	// accelerator proved unable to start a candidate and skipped
+	// without probing; AccelChances counts skip invocations (each a
+	// chance to jump a run of impossible bytes); AccelRuns counts the
+	// invocations that actually cleared a run of at least 8 bytes.
+	// Together with BytesScanned they give the Fig.-5c-style density
+	// story: SkipFrac collapses as the matching fraction of the input
+	// grows.
+	SkippedBytes uint64
+	AccelChances uint64
+	AccelRuns    uint64
+
 	// Candidate positions stored into the temporary arrays.
 	ShortCandidates uint64
 	LongCandidates  uint64
@@ -96,6 +109,9 @@ func (c *Counters) Add(o *Counters) {
 	c.Filter3UsefulLanes += o.Filter3UsefulLanes
 	c.BatchIters += o.BatchIters
 	c.BatchActiveLanes += o.BatchActiveLanes
+	c.SkippedBytes += o.SkippedBytes
+	c.AccelChances += o.AccelChances
+	c.AccelRuns += o.AccelRuns
 	c.ShortCandidates += o.ShortCandidates
 	c.LongCandidates += o.LongCandidates
 	c.HTProbes += o.HTProbes
@@ -139,6 +155,16 @@ func (c *Counters) BatchLaneFrac(w int) float64 {
 	return float64(c.BatchActiveLanes) / (float64(c.BatchIters) * float64(w))
 }
 
+// SkipFrac returns the fraction of scanned bytes the skip-loop
+// accelerator cleared without probing — the acceleration analogue of
+// the filtering rate. Returns 0 when nothing was scanned.
+func (c *Counters) SkipFrac() float64 {
+	if c.BytesScanned == 0 {
+		return 0
+	}
+	return float64(c.SkippedBytes) / float64(c.BytesScanned)
+}
+
 // FilteringTimeFrac returns filtering time over total measured time
 // (Fig. 5b, left axis). Returns 0 when nothing was timed.
 func (c *Counters) FilteringTimeFrac() float64 {
@@ -161,10 +187,11 @@ func (c *Counters) CandidateFrac() float64 {
 
 func (c *Counters) String() string {
 	return fmt.Sprintf(
-		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d evicted=%d dropped=%dB peakflows=%d filter=%s verify=%s",
+		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) skipped=%d(chances %d, runs %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d evicted=%d dropped=%dB peakflows=%d filter=%s verify=%s",
 		c.BytesScanned, c.Filter1Probes, c.Filter2Probes, c.Filter3Probes,
 		c.VectorIters, c.Gathers, c.MergedGathers, c.Filter3Blocks,
 		c.BatchIters, c.BatchActiveLanes,
+		c.SkippedBytes, c.AccelChances, c.AccelRuns,
 		c.ShortCandidates, c.LongCandidates, c.HTProbes, c.VerifyAttempts,
 		c.VerifyBytes, c.Matches,
 		c.FlowsEvicted, c.BytesDropped, c.PeakFlows,

@@ -14,6 +14,7 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 		FilteringNs: 16, VerifyNs: 17, OtherNs: 18, DFAAccesses: 19,
 		BatchIters: 20, BatchActiveLanes: 21,
 		FlowsEvicted: 22, BytesDropped: 23, PeakFlows: 24,
+		SkippedBytes: 25, AccelChances: 26, AccelRuns: 27,
 	}
 	var c Counters
 	c.Add(&a)
@@ -27,6 +28,7 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 		BatchIters: 40, BatchActiveLanes: 42,
 		// PeakFlows is a high-water mark: Add merges it by max.
 		FlowsEvicted: 44, BytesDropped: 46, PeakFlows: 24,
+		SkippedBytes: 50, AccelChances: 52, AccelRuns: 54,
 	}) {
 		t.Fatalf("Add result wrong: %+v", c)
 	}
@@ -112,5 +114,20 @@ func TestBatchLaneFrac(t *testing.T) {
 	}
 	if c.BatchLaneFrac(0) != 0 {
 		t.Fatal("zero width must yield 0")
+	}
+}
+
+func TestSkipFrac(t *testing.T) {
+	var c Counters
+	if c.SkipFrac() != 0 {
+		t.Fatal("empty counters should report 0")
+	}
+	c.BytesScanned = 100
+	c.SkippedBytes = 25
+	if c.SkipFrac() != 0.25 {
+		t.Fatalf("SkipFrac = %v", c.SkipFrac())
+	}
+	if !strings.Contains(c.String(), "skipped=25") {
+		t.Fatalf("String missing skip counters: %s", c.String())
 	}
 }

@@ -30,6 +30,14 @@
 // chunks, see StreamScanner; for multi-core scans of one large input,
 // see FindAllParallel.
 //
+// The filtering engines carry a hot-path skip-loop acceleration layer
+// (on by default, exact, self-disabling on dense rule sets and
+// traffic): clean payload is cleared in runs — via the runtime's
+// bytes.IndexByte for rare-start-byte rule sets, or a branchless
+// L1-resident window bitmap otherwise — before the filter probes run at
+// all. Engine.Info reports the selected mode; see the README's
+// performance guide.
+//
 // For the dominant NIDS workload — many small buffers (packets, HTTP
 // requests, reassembled payload pieces) — scan batches instead of
 // buffers: Session.ScanBatch / Engine.FindAllBatch hand the engine many
@@ -181,6 +189,13 @@ type Options struct {
 	// MaxAutomatonBytes caps Aho-Corasick's full-matrix size before the
 	// sparse fallback (default 256 MB; negative forces sparse).
 	MaxAutomatonBytes int
+	// NoAccel disables the hot-path skip-loop acceleration layer of the
+	// filtering engines (S-PATCH, V-PATCH, DFC), forcing their plain
+	// probe loops. Acceleration is on by default and auto-disables on
+	// rule sets and traffic too dense to profit; this switch exists for
+	// ablation benchmarks and A/B measurement. See the README's
+	// performance guide.
+	NoAccel bool
 }
 
 // Engine is the compiled, immutable form of a pattern set: all filter
@@ -222,14 +237,20 @@ func Compile(set *PatternSet, opt Options) (*Engine, error) {
 			Width:           opt.VectorWidth,
 			ChunkSize:       opt.ChunkSize,
 			Filter3Log2Bits: opt.Filter3Log2Bits,
+			NoAccel:         opt.NoAccel,
 		})
 	case AlgoSPatch:
 		eng = core.NewSPatch(set, core.Options{
 			ChunkSize:       opt.ChunkSize,
 			Filter3Log2Bits: opt.Filter3Log2Bits,
+			NoAccel:         opt.NoAccel,
 		})
 	case AlgoDFC:
-		eng = dfc.Build(set)
+		d := dfc.Build(set)
+		if opt.NoAccel {
+			d.WithoutAccel()
+		}
+		eng = d
 	case AlgoVectorDFC:
 		eng = dfc.BuildVector(set, opt.VectorWidth)
 	case AlgoAhoCorasick:
