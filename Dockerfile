@@ -1,0 +1,29 @@
+# vpatch-serve: the resident multi-tenant scanning daemon in a minimal
+# two-stage image. The final stage is distroless-style: a static binary
+# on an empty base, no shell, non-root. The healthcheck reuses the
+# daemon binary in probe mode (-check) since the image carries no curl.
+#
+#   docker build -t vpatch-serve .
+#   docker run -p 8080:8080 -p 4789:4789 \
+#     -v $PWD/groups.vpdb:/rules/groups.vpdb:ro \
+#     vpatch-serve -db /rules/groups.vpdb -ingest :4789
+
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+ENV CGO_ENABLED=0
+RUN go build -trimpath -ldflags='-s -w' -o /out/vpatch-serve ./cmd/vpatch-serve && \
+    go build -trimpath -ldflags='-s -w' -o /out/vpatch-compile ./cmd/vpatch-compile
+
+FROM scratch
+COPY --from=build /out/vpatch-serve /vpatch-serve
+# The offline rule compiler rides along so rule updates can be compiled
+# with `docker run --entrypoint /vpatch-compile`.
+COPY --from=build /out/vpatch-compile /vpatch-compile
+USER 65532:65532
+EXPOSE 8080 4789
+HEALTHCHECK --interval=15s --timeout=5s --start-period=10s --retries=3 \
+  CMD ["/vpatch-serve", "-check", "http://127.0.0.1:8080/healthz"]
+ENTRYPOINT ["/vpatch-serve"]
+CMD ["-listen", ":8080"]

@@ -23,14 +23,24 @@
 // Captures can be produced with `vpatch-gen -pcap` or any tool writing
 // classic little-endian libpcap Ethernet captures in the shape netsim
 // emits (see internal/netsim).
+//
+// Truncated captures (a cut-short tcpdump, a capture still being
+// written) are analyzed up to the damage: the readable prefix is
+// processed normally, a warning goes to stderr, and the process exits
+// with code 3 so scripts can tell "partial input" from "failed" (1)
+// and "bad usage" (2). SIGINT/SIGTERM stop ingestion early, drain the
+// pipeline (flushing all shards so buffered alerts surface), print the
+// final stats, and exit with 128+signal.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"vpatch"
@@ -69,8 +79,13 @@ func main() {
 	}
 	segs, err := netsim.ReadPcap(pf)
 	pf.Close()
+	truncated := err != nil && len(segs) > 0
 	if err != nil {
-		fatal(err)
+		if !truncated {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vpatch-ids: warning: truncated capture (%v); analyzing the %d readable segments\n",
+			err, len(segs))
 	}
 
 	// The emit path must be safe for concurrent use: with -shards > 1
@@ -126,6 +141,13 @@ func main() {
 	for _, s := range segs {
 		bytes += len(s.Payload)
 	}
+	// SIGINT/SIGTERM stop ingestion at the next segment boundary; the
+	// pipeline then drains normally so every buffered alert surfaces and
+	// the final stats are real.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	var gotSig os.Signal
+	fed := 0
 	var stats netsim.Stats
 	var counters vpatch.Counters
 	start := time.Now()
@@ -136,9 +158,17 @@ func main() {
 			perShard = d.InstrumentCounters()
 		}
 		for _, s := range segs {
+			select {
+			case gotSig = <-sigc:
+			default:
+			}
+			if gotSig != nil {
+				break
+			}
 			d.Handle(s)
+			fed++
 		}
-		stats = d.Close() // drains workers, merges per-shard stats
+		stats = d.Close() // drains workers, flushes every shard, merges stats
 		for _, c := range perShard {
 			counters.Add(c)
 		}
@@ -148,12 +178,25 @@ func main() {
 			engine.SetCounters(&counters)
 		}
 		for _, s := range segs {
+			select {
+			case gotSig = <-sigc:
+			default:
+			}
+			if gotSig != nil {
+				break
+			}
 			engine.HandleSegment(s)
+			fed++
 		}
 		engine.Flush() // drain partial per-group batches
 		stats = engine.Stats()
 	}
+	signal.Stop(sigc)
 	elapsed := time.Since(start)
+	if gotSig != nil {
+		fmt.Fprintf(os.Stderr, "vpatch-ids: %v after %d/%d segments; draining and reporting\n",
+			gotSig, fed, len(segs))
+	}
 
 	fmt.Printf("capture: %d segments, %d payload bytes\n", len(segs), bytes)
 	fmt.Printf("engine:  %s over %d rules in %d groups, %d shard(s)\n",
@@ -189,6 +232,16 @@ func main() {
 	for _, r := range rules {
 		p := set.Pattern(r.id)
 		fmt.Printf("  sid %5d  %6d alerts  %q\n", r.id+1, r.n, truncate(p.Data, 40))
+	}
+
+	if gotSig != nil {
+		if sig, ok := gotSig.(syscall.Signal); ok {
+			os.Exit(128 + int(sig))
+		}
+		os.Exit(130)
+	}
+	if truncated {
+		os.Exit(3) // results above cover only the readable prefix
 	}
 }
 

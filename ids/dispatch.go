@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"vpatch"
+	"vpatch/internal/metrics"
 	"vpatch/internal/netsim"
 )
 
@@ -20,8 +21,18 @@ import (
 type Dispatcher struct {
 	shards []*Shard
 	chans  []chan netsim.Segment
+	flush  []chan chan struct{}
 	wg     sync.WaitGroup
-	closed bool
+	obs    *PipelineObserver
+
+	// mu guards the control plane (FlushAll vs Close); closeOnce makes
+	// Close safe from any goroutine, any number of times — the
+	// ownership handoff a hot-swapping service needs when the last
+	// releaser of an old engine generation, whoever that is, retires
+	// its dispatcher.
+	mu        sync.Mutex
+	closed    bool
+	closeOnce sync.Once
 }
 
 // dispatchQueueLen is each worker's segment-channel buffer: deep enough
@@ -44,20 +55,49 @@ func (e *Engine) NewDispatcher(n int, limits netsim.Limits, emit func(Alert)) *D
 	d := &Dispatcher{
 		shards: make([]*Shard, n),
 		chans:  make([]chan netsim.Segment, n),
+		flush:  make([]chan chan struct{}, n),
 	}
 	for i := 0; i < n; i++ {
 		sh := e.NewShard(emit)
 		sh.SetLimits(limits)
 		ch := make(chan netsim.Segment, dispatchQueueLen)
+		fch := make(chan chan struct{})
 		d.shards[i] = sh
 		d.chans[i] = ch
+		d.flush[i] = fch
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			for seg := range ch {
-				sh.HandleSegment(seg)
+			for {
+				select {
+				case seg, ok := <-ch:
+					if !ok {
+						sh.Flush()
+						return
+					}
+					sh.HandleSegment(seg)
+				case ack := <-fch:
+					// Drain segments already queued before flushing:
+					// select picks randomly among ready channels, so
+					// without this a flush request could overtake
+					// segments sent before it and miss their alerts.
+					for drained := false; !drained; {
+						select {
+						case seg, ok := <-ch:
+							if !ok {
+								sh.Flush()
+								close(ack)
+								return
+							}
+							sh.HandleSegment(seg)
+						default:
+							drained = true
+						}
+					}
+					sh.Flush()
+					close(ack)
+				}
 			}
-			sh.Flush()
 		}()
 	}
 	return d
@@ -65,7 +105,9 @@ func (e *Engine) NewDispatcher(n int, limits netsim.Limits, emit func(Alert)) *D
 
 // Handle routes one captured segment to its flow's shard. Segments of
 // one flow always land on the same shard, so per-flow stream order is
-// preserved. Single-goroutine, like Engine.HandleSegment.
+// preserved. Unlike Engine.HandleSegment, Handle may be called from
+// multiple goroutines (it is one channel send); per-flow ordering then
+// holds per sender, which is what a request-scoped ingest needs.
 //
 // The segment's payload is enqueued by reference: the capture loop must
 // not reuse the payload buffer until Close returns. (Replay loops that
@@ -93,18 +135,95 @@ func (d *Dispatcher) InstrumentCounters() []*vpatch.Counters {
 	return cs
 }
 
+// PipelineObserver aggregates race-safe views over a dispatcher's
+// worker shards: scan counters folded in at batch flushes and
+// flow-lifecycle stats published at flushes and segment intervals.
+// Counters and FlowStats may be called from any goroutine at any time
+// — while the pipeline is ingesting, and after Close (when they report
+// the final tallies). This is the scrape surface a resident service
+// exposes on /metrics.
+type PipelineObserver struct {
+	scan []*metrics.Atomic
+	flow []*netsim.AtomicStats
+}
+
+// Observe attaches (or returns the already-attached) observer for this
+// dispatcher. Like InstrumentCounters it must be called before the
+// first Handle, so the attachment is published to the workers by the
+// first segment send.
+func (d *Dispatcher) Observe() *PipelineObserver {
+	if d.obs == nil {
+		o := &PipelineObserver{
+			scan: make([]*metrics.Atomic, len(d.shards)),
+			flow: make([]*netsim.AtomicStats, len(d.shards)),
+		}
+		for i, sh := range d.shards {
+			o.scan[i] = &metrics.Atomic{}
+			o.flow[i] = &netsim.AtomicStats{}
+			sh.SetObserver(o.scan[i], o.flow[i])
+		}
+		d.obs = o
+	}
+	return d.obs
+}
+
+// Counters returns the merged scan counters published so far (they lag
+// the hot path by at most one unflushed batch per shard).
+func (o *PipelineObserver) Counters() vpatch.Counters {
+	var c vpatch.Counters
+	for _, a := range o.scan {
+		snap := a.Snapshot()
+		c.Add(&snap)
+	}
+	return c
+}
+
+// FlowStats returns the merged flow-lifecycle stats published so far.
+func (o *PipelineObserver) FlowStats() netsim.Stats {
+	var st netsim.Stats
+	for _, f := range o.flow {
+		st.Add(f.Load())
+	}
+	return st
+}
+
+// FlushAll makes every worker scan its pending batches now and waits
+// until all have done so — the latency-deadline lever of a resident
+// pipeline (alerts otherwise wait for a watermark). Safe to call
+// concurrently with Handle (from any goroutine) and with Close; after
+// Close it is a no-op.
+func (d *Dispatcher) FlushAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	acks := make([]chan struct{}, len(d.flush))
+	for i, fch := range d.flush {
+		ack := make(chan struct{})
+		acks[i] = ack
+		fch <- ack
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
 // Close drains every worker (flushing partial batches, so all pending
 // alerts surface), stops the goroutines, and returns the per-shard
-// lifecycle stats merged. Close is idempotent; Handle must not be
-// called after it.
+// lifecycle stats merged. Close is safe to call from any goroutine and
+// any number of times (every call waits for the drain and returns the
+// same merged stats); Handle must not be called after it.
 func (d *Dispatcher) Close() netsim.Stats {
-	if !d.closed {
+	d.closeOnce.Do(func() {
+		d.mu.Lock()
 		d.closed = true
 		for _, ch := range d.chans {
 			close(ch)
 		}
-		d.wg.Wait()
-	}
+		d.mu.Unlock()
+	})
+	d.wg.Wait()
 	var st netsim.Stats
 	for _, sh := range d.shards {
 		st.Add(sh.Stats())

@@ -48,6 +48,7 @@ import (
 	"fmt"
 
 	"vpatch"
+	"vpatch/internal/metrics"
 	"vpatch/internal/netsim"
 	"vpatch/internal/patterns"
 )
@@ -115,7 +116,22 @@ type Shard struct {
 	// counters, when set, instruments every batch scan (see
 	// SetCounters).
 	counters *vpatch.Counters
+
+	// Observer publication (see SetObserver): scans run against
+	// obsScratch, which is folded into obsScan at every flush; flow
+	// lifecycle stats are published into obsFlow at flushes and every
+	// obsPublishEvery segments.
+	obsScan      *metrics.Atomic
+	obsFlow      *netsim.AtomicStats
+	obsScratch   vpatch.Counters
+	segsSinceObs int
 }
+
+// obsPublishEvery is how many segments a shard handles between
+// flow-stats publications to its observer (flushes also publish). Low
+// enough that scraped gauges track the pipeline closely, high enough
+// that the atomic stores stay invisible next to reassembly work.
+const obsPublishEvery = 64
 
 // flowState is the per-flow stream bookkeeping the batched pipeline
 // keeps between payload arrivals: the carry (last maxPatternLen-1
@@ -266,6 +282,27 @@ func (s *Shard) Stats() netsim.Stats { return s.reasm.Stats() }
 // single-goroutine rule.
 func (s *Shard) SetCounters(c *vpatch.Counters) { s.counters = c }
 
+// SetObserver attaches race-safe publication sinks to the shard, the
+// mechanism resident services use to scrape a running pipeline: scan
+// counters accumulate privately and are folded into scan (atomically)
+// at every batch flush; flow-lifecycle stats are stored into flow at
+// flushes and every few dozen segments. Either sink may be nil.
+// Readers call scan.Snapshot / flow.Load from any goroutine at any
+// time. SetObserver follows the shard's single-goroutine rule (attach
+// before the shard starts handling segments).
+func (s *Shard) SetObserver(scan *metrics.Atomic, flow *netsim.AtomicStats) {
+	s.obsScan = scan
+	s.obsFlow = flow
+}
+
+// publishFlowStats stores the reassembler's current lifecycle stats
+// into the observer slot, when one is attached.
+func (s *Shard) publishFlowStats() {
+	if s.obsFlow != nil {
+		s.obsFlow.Store(s.reasm.Stats())
+	}
+}
+
 // onFlowClose releases a flow's scan state when the reassembler stops
 // tracking it. On normal teardown (FIN/RST) the carry is dropped and
 // enqueued scan jobs simply surface at the next flush — they hold their
@@ -353,6 +390,30 @@ func (e *Engine) groupFor(k netsim.FlowKey) *group {
 	return e.groups[vpatch.ProtoGeneric]
 }
 
+// ScanBuffer matches one self-contained buffer against the rule groups
+// a flow to the given service port would be scanned with (port 0, or
+// any unclassified port, selects the generic group), reporting each
+// occurrence's original pattern ID and offset. Unlike the segment
+// pipeline it involves no flow state, so it is safe for concurrent use
+// from any number of goroutines — the one-shot scan surface a resident
+// scanning service exposes per request. c, when non-nil, accumulates
+// scan instrumentation and must be private to the caller. Returns the
+// number of matches.
+func (e *Engine) ScanBuffer(port uint16, data []byte, c *vpatch.Counters, emit func(patternID int32, pos int64)) int {
+	g := e.groupFor(netsim.FlowKey{DstPort: port})
+	if g == nil {
+		return 0
+	}
+	n := 0
+	g.eng.Scan(data, c, func(m vpatch.Match) {
+		n++
+		if emit != nil {
+			emit(g.origID[m.PatternID], int64(m.Pos))
+		}
+	})
+	return n
+}
+
 // HandleSegment feeds one captured segment through the default shard.
 // Single-goroutine; multi-core callers use NewShard and feed each shard
 // its flow partition.
@@ -385,7 +446,15 @@ func (e *Engine) Stats() netsim.Stats { return e.def.Stats() }
 
 // HandleSegment feeds one captured segment through reassembly and
 // matching. Segments may arrive reordered or duplicated.
-func (s *Shard) HandleSegment(seg netsim.Segment) { s.reasm.Add(seg) }
+func (s *Shard) HandleSegment(seg netsim.Segment) {
+	s.reasm.Add(seg)
+	if s.obsFlow != nil {
+		if s.segsSinceObs++; s.segsSinceObs >= obsPublishEvery {
+			s.segsSinceObs = 0
+			s.obsFlow.Store(s.reasm.Stats())
+		}
+	}
+}
 
 // session returns the shard's scan session for g, creating it on first
 // use.
@@ -454,8 +523,15 @@ func (s *Shard) flushGroup(g *group, pb *groupBatch) {
 	if len(pb.bufs) == 0 {
 		return
 	}
+	// With an observer attached, scans instrument a private scratch
+	// that is folded into the atomic sink (and any SetCounters target)
+	// after the batch — the hot loops never touch an atomic.
+	c := s.counters
+	if s.obsScan != nil {
+		c = &s.obsScratch
+	}
 	set := g.eng.Set()
-	s.session(g).ScanBatch(pb.bufs, s.counters, func(buf int, m vpatch.Match) {
+	s.session(g).ScanBatch(pb.bufs, c, func(buf int, m vpatch.Match) {
 		ent := &pb.meta[buf]
 		// Matches ending inside the carry prefix were reported by the
 		// batch that scanned those stream bytes first.
@@ -472,6 +548,14 @@ func (s *Shard) flushGroup(g *group, pb *groupBatch) {
 	pb.bufs = pb.bufs[:0]
 	pb.meta = pb.meta[:0]
 	pb.bytes = 0
+	if s.obsScan != nil {
+		if s.counters != nil {
+			s.counters.Add(&s.obsScratch)
+		}
+		s.obsScan.AddCounters(&s.obsScratch)
+		s.obsScratch.Reset()
+		s.publishFlowStats()
+	}
 }
 
 // Flush scans every pending batch immediately. Call it after the last
@@ -481,6 +565,9 @@ func (s *Shard) Flush() {
 	for g, pb := range s.pending {
 		s.flushGroup(g, pb)
 	}
+	// Publish final lifecycle gauges even when no batch held jobs, so
+	// eviction- or teardown-only activity reaches scrapers too.
+	s.publishFlowStats()
 }
 
 // PendingScanBufs reports enqueued-but-unscanned payload buffers

@@ -17,6 +17,14 @@ import (
 // Counters accumulates matcher events for one scan (or several; counters
 // are additive). The zero value is ready to use. Not safe for concurrent
 // mutation; give each goroutine its own Counters.
+//
+// The fields are plain words mutated with ordinary read-modify-write on
+// the scan hot path, so reading them from another goroutine while a
+// scan is running is a data race (and may observe torn, partial
+// updates). Long-running services that must expose counters while
+// scanning publish deltas into an Atomic instead (the scanning
+// goroutine calls Atomic.AddCounters at flush points; scrapers call
+// Atomic.Snapshot from any goroutine) — see atomic.go.
 type Counters struct {
 	// BytesScanned is the input volume processed.
 	BytesScanned uint64
@@ -131,6 +139,13 @@ func (c *Counters) Add(o *Counters) {
 
 // Reset zeroes all counters.
 func (c *Counters) Reset() { *c = Counters{} }
+
+// Snapshot returns a copy of the counters. It must be called from the
+// goroutine that owns c (the one mutating it through scans) — it is a
+// plain struct copy, not a synchronized read. For scraping counters
+// owned by another goroutine, publish them through an Atomic and use
+// Atomic.Snapshot.
+func (c *Counters) Snapshot() Counters { return *c }
 
 // UsefulLaneFrac returns the average fraction of active lanes when the
 // speculative filter-3 block executes, given the register width W — the

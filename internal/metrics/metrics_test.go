@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -129,5 +131,113 @@ func TestSkipFrac(t *testing.T) {
 	}
 	if !strings.Contains(c.String(), "skipped=25") {
 		t.Fatalf("String missing skip counters: %s", c.String())
+	}
+}
+
+// fillDistinct sets every field of a Counters to a distinct nonzero
+// value via reflection, so transfer audits notice a field that any
+// merge path forgot (a freshly added field starts at the zero value on
+// the destination and the mismatch is reported by name).
+func fillDistinct(c *Counters) {
+	v := reflect.ValueOf(c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(1000 + i))
+		case reflect.Int64:
+			f.SetInt(int64(2000 + i))
+		default:
+			panic("unhandled Counters field kind " + f.Kind().String())
+		}
+	}
+}
+
+// diffFields reports the names of fields that differ between a and b.
+func diffFields(t *testing.T, a, b Counters) []string {
+	t.Helper()
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	var bad []string
+	for i := 0; i < va.NumField(); i++ {
+		if !va.Field(i).Equal(vb.Field(i)) {
+			bad = append(bad, va.Type().Field(i).Name)
+		}
+	}
+	return bad
+}
+
+// TestAddCoversEveryField: Counters.Add into a zero destination must
+// transfer every field (PeakFlows merges by max, which from zero is a
+// plain copy). Guards against a new counter field silently dropping out
+// of the merge path.
+func TestAddCoversEveryField(t *testing.T) {
+	var src, dst Counters
+	fillDistinct(&src)
+	dst.Add(&src)
+	if bad := diffFields(t, dst, src); len(bad) > 0 {
+		t.Fatalf("Counters.Add dropped fields: %v", bad)
+	}
+}
+
+// TestAtomicRoundTripCoversEveryField: AddCounters followed by Snapshot
+// must reproduce every field, so the published view never silently
+// omits a counter.
+func TestAtomicRoundTripCoversEveryField(t *testing.T) {
+	var src Counters
+	fillDistinct(&src)
+	var a Atomic
+	a.AddCounters(&src)
+	if bad := diffFields(t, a.Snapshot(), src); len(bad) > 0 {
+		t.Fatalf("Atomic round-trip dropped fields: %v", bad)
+	}
+}
+
+// TestAtomicPeakFlowsMax: PeakFlows is a high-water mark and must merge
+// by max through the atomic path, like Counters.Add.
+func TestAtomicPeakFlowsMax(t *testing.T) {
+	var a Atomic
+	a.AddCounters(&Counters{PeakFlows: 9})
+	a.AddCounters(&Counters{PeakFlows: 4})
+	if got := a.Snapshot().PeakFlows; got != 9 {
+		t.Fatalf("PeakFlows = %d, want 9 (max-merge)", got)
+	}
+}
+
+// TestAtomicConcurrentScrape: concurrent AddCounters and Snapshot must
+// be race-free (run under -race) and every snapshot must observe
+// monotonically non-decreasing totals.
+func TestAtomicConcurrentScrape(t *testing.T) {
+	var a Atomic
+	const writers, rounds = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			delta := Counters{BytesScanned: 3, Matches: 1, SkippedBytes: 2}
+			for i := 0; i < rounds; i++ {
+				a.AddCounters(&delta)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var prev Counters
+	for {
+		snap := a.Snapshot()
+		if snap.BytesScanned < prev.BytesScanned || snap.Matches < prev.Matches {
+			t.Errorf("snapshot went backwards: %+v after %+v", snap, prev)
+		}
+		prev = snap
+		select {
+		case <-done:
+			final := a.Snapshot()
+			if final.BytesScanned != writers*rounds*3 || final.Matches != writers*rounds {
+				t.Fatalf("final snapshot %+v, want %d bytes / %d matches",
+					final, writers*rounds*3, writers*rounds)
+			}
+			return
+		default:
+		}
 	}
 }

@@ -51,6 +51,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"vpatch/internal/metrics"
 )
@@ -323,6 +324,49 @@ func (s *Stats) Add(o Stats) {
 	s.BytesDropped += o.BytesDropped
 	s.GapSkips += o.GapSkips
 	s.PendingBytes += o.PendingBytes
+}
+
+// AtomicStats is a concurrency-safe publication slot for one
+// reassembler's Stats: the owning goroutine Stores its current stats at
+// convenient points (flushes, batch boundaries) and any goroutine may
+// Load the last published value — the mechanism resident services use
+// to scrape flow-lifecycle gauges while the pipeline is running. Store
+// and Load are field-wise atomic: a Load never tears a counter, though
+// it may mix fields from two adjacent Stores (all counters are
+// monotonic except the Flows/PendingBytes gauges, so scrape consumers
+// still never observe a counter going backwards from one slot).
+type AtomicStats struct {
+	flows        atomic.Int64
+	peakFlows    atomic.Int64
+	flowsClosed  atomic.Uint64
+	flowsEvicted atomic.Uint64
+	bytesDropped atomic.Uint64
+	gapSkips     atomic.Uint64
+	pendingBytes atomic.Int64
+}
+
+// Store publishes s as the slot's current value.
+func (a *AtomicStats) Store(s Stats) {
+	a.flows.Store(int64(s.Flows))
+	a.peakFlows.Store(int64(s.PeakFlows))
+	a.flowsClosed.Store(s.FlowsClosed)
+	a.flowsEvicted.Store(s.FlowsEvicted)
+	a.bytesDropped.Store(s.BytesDropped)
+	a.gapSkips.Store(s.GapSkips)
+	a.pendingBytes.Store(int64(s.PendingBytes))
+}
+
+// Load returns the last published stats.
+func (a *AtomicStats) Load() Stats {
+	return Stats{
+		Flows:        int(a.flows.Load()),
+		PeakFlows:    int(a.peakFlows.Load()),
+		FlowsClosed:  a.flowsClosed.Load(),
+		FlowsEvicted: a.flowsEvicted.Load(),
+		BytesDropped: a.bytesDropped.Load(),
+		GapSkips:     a.gapSkips.Load(),
+		PendingBytes: int(a.pendingBytes.Load()),
+	}
 }
 
 // MergeInto folds the lifecycle counters into a metrics.Counters, so

@@ -660,3 +660,83 @@ func TestPacketizeReassembleProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAtomicStatsRoundTrip: Store/Load must reproduce every field.
+func TestAtomicStatsRoundTrip(t *testing.T) {
+	want := Stats{Flows: 1, PeakFlows: 2, FlowsClosed: 3, FlowsEvicted: 4,
+		BytesDropped: 5, GapSkips: 6, PendingBytes: 7}
+	var a AtomicStats
+	a.Store(want)
+	if got := a.Load(); got != want {
+		t.Fatalf("AtomicStats round trip: got %+v, want %+v", got, want)
+	}
+}
+
+// TestAtomicStatsConcurrent: one publisher, many scrapers, race-free
+// under -race, and the monotonic counters never go backwards.
+func TestAtomicStatsConcurrent(t *testing.T) {
+	var a AtomicStats
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var s Stats
+		for i := 0; i < 2000; i++ {
+			s.FlowsClosed++
+			s.BytesDropped += 3
+			s.Flows = i % 7
+			a.Store(s)
+		}
+	}()
+	var prev Stats
+	for {
+		got := a.Load()
+		if got.FlowsClosed < prev.FlowsClosed || got.BytesDropped < prev.BytesDropped {
+			t.Fatalf("monotonic counter went backwards: %+v after %+v", got, prev)
+		}
+		prev = got
+		select {
+		case <-done:
+			if final := a.Load(); final.FlowsClosed != 2000 {
+				t.Fatalf("final FlowsClosed = %d, want 2000", final.FlowsClosed)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestReadPcapPartial: a capture truncated mid-packet must yield the
+// segments before the truncation point together with the error, so
+// tools can analyze the readable prefix.
+func TestReadPcapPartial(t *testing.T) {
+	streams := map[FlowKey][]byte{
+		{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80}: []byte(strings.Repeat("abcdef", 100)),
+		{SrcIP: 4, DstIP: 5, SrcPort: 6, DstPort: 25}: []byte(strings.Repeat("xyzw", 120)),
+	}
+	segs := Packetize(streams, PacketizeOptions{MTU: 64, Seed: 7})
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, segs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the last packet's body.
+	cut := full[:len(full)-3]
+	got, err := ReadPcap(bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated capture must return an error")
+	}
+	if len(got) != len(segs)-1 {
+		t.Fatalf("partial read returned %d segments, want %d", len(got), len(segs)-1)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Payload, segs[i].Payload) || got[i].Flow != segs[i].Flow {
+			t.Fatalf("segment %d differs after partial read", i)
+		}
+	}
+	// Header-level failure: no segments.
+	bad := append([]byte{}, full...)
+	bad[0] ^= 0xFF
+	if got, err := ReadPcap(bytes.NewReader(bad)); err == nil || len(got) != 0 {
+		t.Fatalf("bad magic: got %d segments, err %v", len(got), err)
+	}
+}

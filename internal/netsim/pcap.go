@@ -106,6 +106,12 @@ func ipv4Checksum(hdr []byte) uint16 {
 
 // ReadPcap parses a capture previously written by WritePcap and returns
 // its segments in file order.
+//
+// A capture truncated mid-packet (interrupted tcpdump, partial copy)
+// returns the segments parsed so far alongside a non-nil error, so
+// callers can choose to analyze the readable prefix instead of
+// discarding it; a header-level failure (bad magic, unsupported link
+// type) returns no segments.
 func ReadPcap(r io.Reader) ([]Segment, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -126,18 +132,18 @@ func ReadPcap(r io.Reader) ([]Segment, error) {
 			if err == io.EOF {
 				return segs, nil
 			}
-			return nil, fmt.Errorf("netsim: packet header: %w", err)
+			return segs, fmt.Errorf("netsim: packet header: %w", err)
 		}
 		capLen := le.Uint32(ph[8:])
 		if capLen > maxSnapLen {
-			return nil, fmt.Errorf("netsim: packet length %d exceeds snaplen", capLen)
+			return segs, fmt.Errorf("netsim: packet length %d exceeds snaplen", capLen)
 		}
 		frame := make([]byte, capLen)
 		if _, err := io.ReadFull(r, frame); err != nil {
-			return nil, fmt.Errorf("netsim: packet body: %w", err)
+			return segs, fmt.Errorf("netsim: packet body: %w", err)
 		}
 		if capLen < frameOverhead {
-			return nil, fmt.Errorf("netsim: truncated frame (%d bytes)", capLen)
+			return segs, fmt.Errorf("netsim: truncated frame (%d bytes)", capLen)
 		}
 		ip := frame[etherHdrLen:]
 		tcp := ip[ipv4HdrLen:]

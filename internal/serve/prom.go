@@ -1,0 +1,74 @@
+package serve
+
+// Hand-rolled Prometheus text exposition (version 0.0.4), stdlib only:
+// counter/gauge families with tenant labels and a fixed-bucket latency
+// histogram per endpoint. The daemon exports the library's existing
+// counters — matcher events, reassembly lifecycle, accel skip figures —
+// without importing a metrics client.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram upper bounds in seconds. Scan
+// requests are sub-millisecond on small buffers and can reach seconds
+// on worst-case rule sets, so the buckets spread log-ish across that
+// range.
+var latencyBounds = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a concurrency-safe fixed-bucket latency histogram.
+type histogram struct {
+	counts [len(latencyBounds) + 1]atomic.Uint64 // +1: the +Inf bucket
+	sumNs  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds[:], sec)
+	h.counts[i].Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// writeTo renders the histogram in exposition format under name with
+// the given pre-rendered label prefix (e.g. `handler="scan"`).
+func (h *histogram) writeTo(b *strings.Builder, name, labels string) {
+	cum := uint64(0)
+	for i, bound := range latencyBounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, labels, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(latencyBounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, formatFloat(float64(h.sumNs.Load())/1e9))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, cum)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily emits the HELP/TYPE preamble for one metric family.
+func promFamily(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promSample emits one sample line with an optional rendered label set.
+func promSample(b *strings.Builder, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(b, "%s %s\n", name, formatFloat(v))
+	} else {
+		fmt.Fprintf(b, "%s{%s} %s\n", name, labels, formatFloat(v))
+	}
+}
+
+// tenantLabel renders the label pair for a tenant (names are validated
+// against tenantNameRE at creation, so no escaping is needed).
+func tenantLabel(name string) string { return `tenant="` + name + `"` }

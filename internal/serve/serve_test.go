@@ -1,0 +1,583 @@
+package serve
+
+// Daemon tests: wire round-trip, HTTP endpoint lifecycle, the hot-swap
+// reload property (no lost and no duplicated alerts across concurrent
+// rule swaps), /metrics validity under concurrent scrape-and-ingest
+// load, and the raw-TCP ingest port. Run under -race in CI.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vpatch"
+	"vpatch/ids"
+	"vpatch/internal/netsim"
+)
+
+// ruleBlob compiles an HTTP-protocol rule set into a serialized .vpdb
+// blob, the unit of hot reload.
+func ruleBlob(t testing.TB, pats ...string) []byte {
+	t.Helper()
+	set := vpatch.NewPatternSet()
+	for _, p := range pats {
+		set.Add([]byte(p), false, vpatch.ProtoHTTP)
+	}
+	eng, err := ids.NewEngine(set, vpatch.Options{}, func(ids.Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := eng.WriteDB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// flowSegments builds one complete in-order flow carrying payload,
+// split across a few segments with FIN on the last.
+func flowSegments(k netsim.FlowKey, payload []byte) []netsim.Segment {
+	var segs []netsim.Segment
+	seq := uint32(0)
+	for len(payload) > 0 {
+		n := 19 // odd size so patterns straddle segment boundaries
+		if n > len(payload) {
+			n = len(payload)
+		}
+		segs = append(segs, netsim.Segment{Flow: k, Seq: seq, Payload: payload[:n]})
+		seq += uint32(n)
+		payload = payload[n:]
+	}
+	if len(segs) == 0 {
+		segs = append(segs, netsim.Segment{Flow: k})
+	}
+	segs[len(segs)-1].Flags = netsim.FlagFIN
+	return segs
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	segs := []netsim.Segment{
+		{Flow: netsim.FlowKey{SrcIP: 0x0A000001, DstIP: 0xC0A80001, SrcPort: 40001, DstPort: 80},
+			Seq: 7, TsMicros: 123456789, Payload: []byte("hello wire")},
+		{Flow: netsim.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4},
+			Seq: 0xFFFFFFF0, Flags: netsim.FlagFIN, Payload: nil},
+		{Flow: netsim.FlowKey{DstPort: 53}, Flags: netsim.FlagRST, Payload: bytes.Repeat([]byte{0xAB}, 1500)},
+	}
+	r := bytes.NewReader(EncodeSegments(segs))
+	for i, want := range segs {
+		got, err := ReadSegment(r)
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if len(want.Payload) == 0 {
+			want.Payload, got.Payload = nil, got.Payload[:0]
+			if len(got.Payload) != 0 {
+				t.Fatalf("segment %d: unexpected payload", i)
+			}
+			got.Payload = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("segment %d round-trip:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := ReadSegment(r); err != io.EOF {
+		t.Fatalf("want clean EOF at frame boundary, got %v", err)
+	}
+
+	// Mid-frame truncation is an error, not EOF.
+	enc := EncodeSegments(segs[:1])
+	if _, err := ReadSegment(bytes.NewReader(enc[:len(enc)-3])); err == nil || err == io.EOF {
+		t.Fatalf("truncated frame: want a real error, got %v", err)
+	}
+	// A frame shorter than its fixed header is rejected.
+	var bad [4]byte
+	bad[3] = segFixedLen - 1
+	if _, err := ReadSegment(bytes.NewReader(bad[:])); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+	// A corrupt length prefix cannot demand a giant allocation.
+	huge := []byte{0x7F, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadSegment(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func postBytes(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, out
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, out
+	}
+
+	if resp, _ := get("/healthz"); resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != 503 {
+		t.Fatalf("readyz before rules: want 503, got %d", resp.StatusCode)
+	}
+	if resp, _ := get("/nope"); resp.StatusCode != 404 {
+		t.Fatalf("unknown path: want 404, got %d", resp.StatusCode)
+	}
+
+	// Rules upload auto-creates the default tenant.
+	resp, body := postBytes(t, ts.URL+"/v1/tenants/default/rules", ruleBlob(t, "http-attack-xyz"))
+	if resp.StatusCode != 200 {
+		t.Fatalf("rules upload: %d %s", resp.StatusCode, body)
+	}
+	var rr struct {
+		Generation uint64 `json:"generation"`
+		Rules      int    `json:"rules"`
+	}
+	if err := json.Unmarshal(body, &rr); err != nil || rr.Generation != 1 || rr.Rules != 1 {
+		t.Fatalf("rules reply %s (err %v)", body, err)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != 200 {
+		t.Fatalf("readyz after rules: %d", resp.StatusCode)
+	}
+
+	// A corrupt blob is rejected and the generation stays.
+	blob := ruleBlob(t, "http-attack-xyz")
+	blob[len(blob)/2] ^= 0xFF
+	if resp, _ := postBytes(t, ts.URL+"/v1/tenants/default/rules", blob); resp.StatusCode != 422 {
+		t.Fatalf("corrupt rules: want 422, got %d", resp.StatusCode)
+	}
+
+	// One-shot scan.
+	resp, body = postBytes(t, ts.URL+"/v1/scan?port=80", []byte("xx http-attack-xyz yy http-attack-xyz"))
+	if resp.StatusCode != 200 {
+		t.Fatalf("scan: %d %s", resp.StatusCode, body)
+	}
+	var sr scanResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Generation != 1 || len(sr.Matches) != 2 || sr.Matches[0].Offset != 3 {
+		t.Fatalf("scan reply %+v", sr)
+	}
+
+	// Stream a complete flow with flush: the alert must be visible in
+	// the response's cumulative count.
+	segs := flowSegments(netsim.FlowKey{SrcIP: 9, DstIP: 8, SrcPort: 1234, DstPort: 80},
+		[]byte("padding padding http-attack-xyz padding"))
+	resp, body = postBytes(t, ts.URL+"/v1/stream?flush=1", EncodeSegments(segs))
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream: %d %s", resp.StatusCode, body)
+	}
+	var str streamResponse
+	if err := json.Unmarshal(body, &str); err != nil {
+		t.Fatal(err)
+	}
+	if str.Segments != len(segs) || str.AlertsTotal != 1 {
+		t.Fatalf("stream reply %+v, want %d segments and 1 alert", str, len(segs))
+	}
+
+	// Named tenant with a byte quota: isolated rules, 429 past budget.
+	cfg, _ := json.Marshal(TenantConfig{QuotaBytesPerSec: 1, QuotaBurstBytes: 64})
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/tenants/acme", bytes.NewReader(cfg))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 201 {
+		t.Fatalf("tenant create: %d", resp2.StatusCode)
+	}
+	if resp, _ := postBytes(t, ts.URL+"/v1/scan?tenant=acme&port=80", []byte("x")); resp.StatusCode != 409 {
+		t.Fatalf("scan without rules: want 409, got %d", resp.StatusCode)
+	}
+	if resp, _ := postBytes(t, ts.URL+"/v1/tenants/acme/rules", ruleBlob(t, "acme-only")); resp.StatusCode != 200 {
+		t.Fatalf("acme rules: %d", resp.StatusCode)
+	}
+	// Default tenant's rules must not leak into acme.
+	resp, body = postBytes(t, ts.URL+"/v1/scan?tenant=acme&port=80", []byte("http-attack-xyz acme-only"))
+	if resp.StatusCode != 200 {
+		t.Fatalf("acme scan: %d %s", resp.StatusCode, body)
+	}
+	sr = scanResponse{}
+	json.Unmarshal(body, &sr)
+	if len(sr.Matches) != 1 {
+		t.Fatalf("acme scan must hit only its own rule: %+v", sr)
+	}
+	// 25 bytes spent of a 64-byte burst at 1 B/s: the next scan breaks
+	// the budget.
+	if resp, _ = postBytes(t, ts.URL+"/v1/scan?tenant=acme&port=80", bytes.Repeat([]byte("x"), 64)); resp.StatusCode != 429 {
+		t.Fatalf("over-quota scan: want 429, got %d", resp.StatusCode)
+	}
+	if resp, _ := get("/v1/tenants/acme"); resp.StatusCode != 200 {
+		t.Fatalf("tenant detail: %d", resp.StatusCode)
+	}
+	var acme *Tenant
+	if acme = srv.Tenant("acme"); acme.rejected.Load() != 1 {
+		t.Fatalf("quota rejections = %d, want 1", acme.rejected.Load())
+	}
+
+	// Tenant names that would break Prometheus labels are rejected.
+	req, _ = http.NewRequest(http.MethodPut, ts.URL+`/v1/tenants/bad"name`, nil)
+	resp2, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 409 {
+		t.Fatalf(`tenant "bad\"name": want 409, got %d`, resp2.StatusCode)
+	}
+
+	// Metrics render validly with traffic on the books.
+	_, body = get("/metrics")
+	checkPromText(t, string(body))
+	if !strings.Contains(string(body), `vpatch_alerts_total{tenant="default"} 1`) {
+		t.Fatalf("metrics missing default tenant alert count:\n%s", body)
+	}
+
+	// Delete drains the named tenant.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/tenants/acme", nil)
+	resp2, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 || !strings.Contains(string(out), `"drained":true`) {
+		t.Fatalf("tenant delete: %d %s", resp2.StatusCode, out)
+	}
+
+	// Drain: residuals reported, data plane gated, health still up.
+	resp, body = postBytes(t, ts.URL+"/drain", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("drain: %d", resp.StatusCode)
+	}
+	var rep DrainReport
+	if err := json.Unmarshal(body, &rep); err != nil || !rep.Clean {
+		t.Fatalf("drain report %s (err %v)", body, err)
+	}
+	if d := rep.Tenants["default"]; d.Alerts != 1 || d.FlowsClosed != 1 {
+		t.Fatalf("default drain tally %+v, want 1 alert and 1 closed flow", rep.Tenants["default"])
+	}
+	if resp, _ := postBytes(t, ts.URL+"/v1/scan?port=80", []byte("x")); resp.StatusCode != 503 {
+		t.Fatalf("scan while draining: want 503, got %d", resp.StatusCode)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != 503 {
+		t.Fatalf("readyz while draining: want 503, got %d", resp.StatusCode)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != 200 {
+		t.Fatalf("healthz while draining: %d", resp.StatusCode)
+	}
+}
+
+// TestReloadProperty is the hot-swap acceptance property: under
+// concurrent ingestion with repeated rule reloads, every complete flow
+// carrying a pattern produces exactly one alert — none lost to a swap,
+// none duplicated by the drain of a retired generation — and /metrics
+// stays valid and monotonic throughout.
+func TestReloadProperty(t *testing.T) {
+	type flowAlerts struct {
+		sync.Mutex
+		n map[netsim.FlowKey]int
+	}
+	seen := &flowAlerts{n: make(map[netsim.FlowKey]int)}
+	srv := New(Config{OnAlert: func(_ string, _ uint64, a ids.Alert) {
+		seen.Lock()
+		seen.n[a.Flow]++
+		seen.Unlock()
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Both databases contain the sentinel pattern, so a flow matches
+	// exactly once no matter which generation scans it.
+	blobs := [][]byte{
+		ruleBlob(t, "http-attack-xyz", "gen-even-filler"),
+		ruleBlob(t, "http-attack-xyz", "gen-odd-filler", "second-odd-rule"),
+	}
+	if resp, body := postBytes(t, ts.URL+"/v1/tenants/default/rules", blobs[0]); resp.StatusCode != 200 {
+		t.Fatalf("initial rules: %d %s", resp.StatusCode, body)
+	}
+
+	const (
+		workers      = 4
+		flowsPerReq  = 8
+		reqPerWorker = 25
+		swaps        = 6
+	)
+	var gens sync.Map // generation number -> struct{}
+	var wg sync.WaitGroup
+	var sent atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < reqPerWorker; r++ {
+				var enc []byte
+				for f := 0; f < flowsPerReq; f++ {
+					k := netsim.FlowKey{
+						SrcIP:   uint32(w)<<20 | uint32(r)<<8 | uint32(f),
+						DstIP:   0xC0A80001,
+						SrcPort: uint16(40000 + w),
+						DstPort: 80,
+					}
+					payload := fmt.Sprintf("w%d r%d f%d padding http-attack-xyz trailing bytes", w, r, f)
+					for _, s := range flowSegments(k, []byte(payload)) {
+						enc = AppendSegment(enc, s)
+					}
+				}
+				resp, body := postBytes(t, ts.URL+"/v1/stream?flush=1", enc)
+				if resp.StatusCode != 200 {
+					t.Errorf("stream: %d %s", resp.StatusCode, body)
+					return
+				}
+				var str streamResponse
+				if err := json.Unmarshal(body, &str); err != nil {
+					t.Error(err)
+					return
+				}
+				gens.Store(str.Generation, struct{}{})
+				sent.Add(flowsPerReq)
+			}
+		}(w)
+	}
+
+	// Swapper: six hot reloads while the workers stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			time.Sleep(3 * time.Millisecond)
+			resp, body := postBytes(t, ts.URL+"/v1/tenants/default/rules", blobs[i%2])
+			if resp.StatusCode != 200 {
+				t.Errorf("swap %d: %d %s", i, resp.StatusCode, body)
+			}
+		}
+	}()
+
+	// Scraper: /metrics must stay valid and the alert counter monotonic
+	// while generations come and go.
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		var prev float64
+		for {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			checkPromText(t, string(body))
+			v, ok := promValue(string(body), `vpatch_alerts_total{tenant="default"}`)
+			if ok && v < prev {
+				t.Errorf("vpatch_alerts_total went backwards: %v after %v", v, prev)
+				return
+			}
+			if ok {
+				prev = v
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	rep := srv.Drain(10 * time.Second)
+	if !rep.Clean {
+		t.Fatalf("dirty drain: %+v", rep)
+	}
+
+	want := int(sent.Load())
+	seen.Lock()
+	defer seen.Unlock()
+	total := 0
+	for k, n := range seen.n {
+		total += n
+		if n != 1 {
+			t.Errorf("flow %+v alerted %d times, want exactly 1", k, n)
+		}
+	}
+	if len(seen.n) != want || total != want {
+		t.Fatalf("alerts: %d flows / %d total, want %d/%d (lost or duplicated across swaps)",
+			len(seen.n), total, want, want)
+	}
+	if rep.Tenants[DefaultTenant].Alerts != uint64(want) {
+		t.Fatalf("drain tally %d alerts, want %d", rep.Tenants[DefaultTenant].Alerts, want)
+	}
+	nGens := 0
+	gens.Range(func(k, _ any) bool { nGens++; return true })
+	if nGens < 2 {
+		t.Fatalf("traffic only ever saw %d generation(s); swap concurrency not exercised", nGens)
+	}
+	gen, _, _, _ := srv.Tenant(DefaultTenant).generationInfo()
+	if gen != 0 { // tenant was shut down by Drain
+		t.Fatalf("post-drain generation = %d, want 0", gen)
+	}
+}
+
+func TestIngestTCP(t *testing.T) {
+	srv := New(Config{})
+	if _, err := srv.CreateTenant(DefaultTenant, TenantConfig{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Tenant(DefaultTenant).Reload(ruleBlob(t, "http-attack-xyz")); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestDone := make(chan error, 1)
+	go func() { ingestDone <- srv.ServeIngest(ln) }()
+
+	conn, err := DialIngest(ln.Addr().String(), DefaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flows = 10
+	for i := 0; i < flows; i++ {
+		k := netsim.FlowKey{SrcIP: uint32(1000 + i), DstIP: 7, SrcPort: uint16(i + 1), DstPort: 80}
+		payload := fmt.Sprintf("tcp flow %d carries http-attack-xyz onward", i)
+		if _, err := conn.Write(EncodeSegments(flowSegments(k, []byte(payload)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.Close()
+
+	// A second connection naming an unknown tenant is dropped without
+	// disturbing the first tenant's pipeline.
+	if c2, err := DialIngest(ln.Addr().String(), "ghost"); err == nil {
+		c2.Write([]byte{0, 0, 0, 26})
+		c2.Close()
+	}
+
+	// A finished feed (clean EOF) triggers a flush, so the alerts become
+	// visible without closing the pipeline; wait for that, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Tenant(DefaultTenant).alerts.Load() < flows && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := srv.Tenant(DefaultTenant).alerts.Load(); got != flows {
+		t.Fatalf("alerts after feed EOF = %d, want %d", got, flows)
+	}
+	rep := srv.Drain(10 * time.Second)
+	if err := <-ingestDone; err != nil {
+		t.Fatalf("ServeIngest: %v", err)
+	}
+	if got := rep.Tenants[DefaultTenant].Alerts; got != flows {
+		t.Fatalf("alerts = %d, want %d", got, flows)
+	}
+	if !rep.Clean {
+		t.Fatalf("dirty drain: %+v", rep)
+	}
+}
+
+// checkPromText validates Prometheus text exposition 0.0.4 shape: every
+// sample belongs to a declared family, values parse, and histogram
+// bucket series are cumulative.
+func checkPromText(t *testing.T, text string) {
+	t.Helper()
+	types := map[string]string{}
+	lastBucket := map[string]float64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("metrics line %d: bad comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				types[parts[2]] = parts[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("metrics line %d: no value in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("metrics line %d: bad value %q", ln+1, valStr)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("metrics line %d: unbalanced labels in %q", ln+1, series)
+			}
+			name = series[:i]
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && types[f] == "histogram" {
+				family = f
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			t.Fatalf("metrics line %d: sample %q has no TYPE declaration", ln+1, name)
+		}
+		if typ == "counter" && val < 0 {
+			t.Fatalf("metrics line %d: negative counter %q", ln+1, line)
+		}
+		if strings.HasSuffix(name, "_bucket") && typ == "histogram" {
+			key := series[:strings.Index(series, "le=")]
+			if val < lastBucket[key] {
+				t.Fatalf("metrics line %d: histogram %q not cumulative", ln+1, series)
+			}
+			lastBucket[key] = val
+		}
+	}
+	if len(types) == 0 {
+		t.Fatal("metrics exposition is empty")
+	}
+}
+
+// promValue extracts one sample's value by its exact series name.
+func promValue(text, series string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}

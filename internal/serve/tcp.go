@@ -1,0 +1,213 @@
+package serve
+
+// Raw-TCP segment ingest: a long-lived alternative to POST /v1/stream
+// for feeding capture pipelines into the daemon without HTTP framing
+// overhead. A connection opens with a hello frame naming the tenant
+// (see wire.go) and then carries segment frames until either side
+// closes. Ingest observes rule hot-swaps mid-connection: the pinned
+// generation is re-acquired periodically, so a long-lived feed migrates
+// to new rules within a bounded number of frames.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+const (
+	// ingestReacquireEvery bounds how many frames a connection scans
+	// against a stale generation after a hot swap.
+	ingestReacquireEvery = 256
+	// ingestPollInterval is how often an idle connection re-checks the
+	// draining flag.
+	ingestPollInterval = 500 * time.Millisecond
+	// ingestFrameTimeout kills a connection that stalls mid-frame.
+	ingestFrameTimeout = 30 * time.Second
+	maxHelloLen        = 256
+)
+
+// ServeIngest accepts raw-TCP ingest connections on l until the
+// listener closes or the server drains. Each connection runs on its own
+// goroutine; Drain waits for all of them to finish.
+func (s *Server) ServeIngest(l net.Listener) error {
+	defer l.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(ingestPollInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if s.draining.Load() {
+					l.Close()
+					return
+				}
+			}
+		}
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.ingestWG.Add(1)
+		go func() {
+			defer s.ingestWG.Done()
+			defer conn.Close()
+			s.serveIngestConn(conn)
+		}()
+	}
+}
+
+// bufferedConn pairs a net.Conn with a peek buffer so the idle poll
+// (deadline on the first byte of a frame) never loses mid-frame data.
+type bufferedConn struct {
+	c   net.Conn
+	buf []byte // peeked-but-unconsumed bytes
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) {
+	if len(b.buf) > 0 {
+		n := copy(p, b.buf)
+		b.buf = b.buf[n:]
+		return n, nil
+	}
+	return b.c.Read(p)
+}
+
+// waitByte blocks until at least one byte is available (buffering it),
+// the deadline d elapses (returns errIdle), or the peer closes.
+var errIdle = errors.New("idle")
+
+func (b *bufferedConn) waitByte(d time.Duration) error {
+	if len(b.buf) > 0 {
+		return nil
+	}
+	b.c.SetReadDeadline(time.Now().Add(d))
+	one := make([]byte, 1)
+	n, err := b.c.Read(one)
+	b.c.SetReadDeadline(time.Time{})
+	if n > 0 {
+		b.buf = append(b.buf, one[:n]...)
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return errIdle
+	}
+	return err
+}
+
+// serveIngestConn drives one ingest connection. Errors are terminal for
+// the connection only; the protocol has no in-band error channel, so a
+// malformed stream simply closes.
+func (s *Server) serveIngestConn(conn net.Conn) {
+	bc := &bufferedConn{c: conn}
+
+	// Hello frame: u16 nameLen | tenant name.
+	conn.SetReadDeadline(time.Now().Add(ingestFrameTimeout))
+	var pre [2]byte
+	if _, err := io.ReadFull(bc, pre[:]); err != nil {
+		return
+	}
+	nameLen := binary.BigEndian.Uint16(pre[:])
+	if nameLen == 0 || nameLen > maxHelloLen {
+		return
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(bc, name); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	t := s.Tenant(string(name))
+	if t == nil {
+		return
+	}
+
+	var g *generation
+	defer func() {
+		if g != nil {
+			g.release()
+		}
+	}()
+	frames := 0
+	for {
+		// Wait for the next frame's first byte with a short deadline so
+		// idle connections notice drains and hot swaps promptly.
+		for {
+			err := bc.waitByte(ingestPollInterval)
+			if err == nil {
+				break
+			}
+			if err != errIdle {
+				if err == io.EOF && g != nil {
+					// The feed ended cleanly: flush now so its buffered
+					// alerts surface without waiting for watermarks.
+					g.disp.FlushAll()
+				}
+				return
+			}
+			if s.draining.Load() {
+				return
+			}
+			if g != nil && t.cur.Load() != g {
+				g.release() // idle across a swap: migrate now
+				g = nil
+			}
+		}
+		// A frame has begun: bound its completion, then read it whole.
+		conn.SetReadDeadline(time.Now().Add(ingestFrameTimeout))
+		seg, err := ReadSegment(bc)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			return
+		}
+		if !t.takeQuota(4 + segFixedLen + len(seg.Payload)) {
+			continue // over quota: count the rejection, drop the frame
+		}
+		if g != nil && (frames%ingestReacquireEvery == 0 || t.cur.Load() != g) {
+			g.release()
+			g = nil
+		}
+		if g == nil {
+			if g = t.acquire(); g == nil {
+				return // no rules loaded (or tenant shut down)
+			}
+		}
+		g.disp.Handle(seg)
+		frames++
+	}
+}
+
+// DialIngest opens an ingest connection and sends the hello frame —
+// the client half of ServeIngest, used by tests and examples.
+func DialIngest(addr, tenant string) (net.Conn, error) {
+	if len(tenant) == 0 || len(tenant) > maxHelloLen {
+		return nil, fmt.Errorf("serve: bad tenant name length %d", len(tenant))
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hello := make([]byte, 2+len(tenant))
+	binary.BigEndian.PutUint16(hello, uint16(len(tenant)))
+	copy(hello[2:], tenant)
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
