@@ -8,6 +8,8 @@
 //	vpatch-bench -sizes 64,256,1514,imix -batch 32
 //	                                # packet-size sweep: serial vs batch
 //	vpatch-bench -accel             # acceleration density sweep
+//	vpatch-bench -kernels           # extract-kernel A/B sweep (all kernels)
+//	vpatch-bench -kernel avx2       # kernel sweep: avx2 vs the swar baseline
 //	vpatch-bench -db web.vpdb      # startup: load vs recompile + scan
 //	vpatch-bench -all -json bench.json
 //	                                # machine-readable results
@@ -35,6 +37,16 @@
 // vs plain fused kernels plus the skip ratio per cell — the crossover
 // evidence behind the acceleration layer's governor thresholds.
 //
+// The -kernels mode (or -kernel with a specific kernel name and no
+// figure selection) runs the extract-kernel A/B sweep: each kernel's
+// filtering-round and full-scan throughput over clean-random and
+// ISCX-like traffic, with speedups against the always-included SWAR
+// reference kernel. This is the snapshot the CI bench-regression gate
+// (vpatch-benchgate) pins. -kernel also records the selected kernel in
+// the -json report for every mode; the paper figures themselves stay
+// pinned to the unaccelerated reference rendition and report kernel
+// "reference".
+//
 // -json writes every result produced by the run as one machine-readable
 // JSON document ("-" = stdout): per-figure wall-clock and modeled Gbps
 // with full event counters, batch-sweep lane occupancy, and accel-sweep
@@ -59,14 +71,25 @@ import (
 
 // report accumulates everything the run produced for -json output.
 type report struct {
-	GeneratedAt string                      `json:"generated_at"`
-	Seed        int64                       `json:"seed"`
-	TrafficMB   int                         `json:"traffic_mb"`
-	Repeats     int                         `json:"repeats"`
-	Figures     map[string]any              `json:"figures,omitempty"`
-	BatchSweep  []experiments.BatchSweepRow `json:"batch_sweep,omitempty"`
-	AccelSweep  []experiments.AccelSweepRow `json:"accel_sweep,omitempty"`
-	DB          *dbReport                   `json:"db,omitempty"`
+	GeneratedAt string                       `json:"generated_at"`
+	Seed        int64                        `json:"seed"`
+	TrafficMB   int                          `json:"traffic_mb"`
+	Repeats     int                          `json:"repeats"`
+	Kernel      string                       `json:"kernel"`
+	Figures     map[string]figEntry          `json:"figures,omitempty"`
+	KernelSweep []experiments.KernelSweepRow `json:"kernel_sweep,omitempty"`
+	BatchSweep  []experiments.BatchSweepRow  `json:"batch_sweep,omitempty"`
+	AccelSweep  []experiments.AccelSweepRow  `json:"accel_sweep,omitempty"`
+	DB          *dbReport                    `json:"db,omitempty"`
+}
+
+// figEntry is one figure in the JSON report, tagged with the extract
+// kernel its engines resolved to. The paper-figure reproductions are
+// pinned to the unaccelerated reference path (no extract kernel runs),
+// recorded as "reference"; the sweeps record the real resolved kernel.
+type figEntry struct {
+	Kernel string `json:"kernel"`
+	Rows   any    `json:"rows"`
 }
 
 // dbReport is the -db startup benchmark in machine-readable form.
@@ -81,9 +104,11 @@ type dbReport struct {
 
 func (r *report) addFigure(name string, rows any) {
 	if r.Figures == nil {
-		r.Figures = map[string]any{}
+		r.Figures = map[string]figEntry{}
 	}
-	r.Figures[name] = rows
+	// Paper figures stay pinned to the unaccelerated reference rendition
+	// (see experiments.BuildAlgos) — no extract kernel is involved.
+	r.Figures[name] = figEntry{Kernel: "reference", Rows: rows}
 }
 
 // write emits the report to path ("-" = stdout) when -json was given.
@@ -117,8 +142,23 @@ func main() {
 	batchN := flag.Int("batch", 32, "buffers per ScanBatch call in the packet sweep")
 	dbPath := flag.String("db", "", "precompiled .vpdb database: run the load-vs-compile startup benchmark instead of figures")
 	accelSweep := flag.Bool("accel", false, "run the skip-loop acceleration density sweep instead of figures")
+	kernelFlag := flag.String("kernel", "auto", "extract kernel to force (auto, avx2, ssse3, swar); with no figure selection, runs the kernel sweep for it vs the swar baseline")
+	kernelsMode := flag.Bool("kernels", false, "run the extract-kernel A/B sweep over every kernel available on this host")
 	jsonPath := flag.String("json", "", "write all results of this run as JSON to the given path ('-' = stdout)")
 	flag.Parse()
+
+	kern, err := vpatch.ParseKernel(*kernelFlag)
+	if err != nil {
+		fatalBench(err)
+	}
+	if !vpatch.KernelAvailable(kern) {
+		fatalBench(fmt.Errorf("kernel %s is not available on this host (have %v)",
+			kern, vpatch.AvailableKernels()))
+	}
+	resolved := kern
+	if resolved == vpatch.KernelAuto {
+		resolved = vpatch.ActiveKernel()
+	}
 
 	cfg := experiments.Config{
 		TrafficBytes: *sizeMB << 20,
@@ -130,8 +170,19 @@ func main() {
 		Seed:        *seed,
 		TrafficMB:   *sizeMB,
 		Repeats:     *repeats,
+		Kernel:      resolved.String(),
 	}
 
+	if *kernelsMode || (kern != vpatch.KernelAuto && *fig == "" && !*all &&
+		*sizesFlag == "" && *dbPath == "" && !*accelSweep) {
+		kernels := vpatch.AvailableKernels()
+		if !*kernelsMode {
+			kernels = []vpatch.Kernel{resolved}
+		}
+		runKernelSweep(cfg, kernels, *csvDir, rep)
+		rep.write(*jsonPath)
+		return
+	}
 	if *dbPath != "" {
 		runDBBench(cfg, *dbPath, rep)
 		rep.write(*jsonPath)
@@ -234,6 +285,21 @@ func main() {
 		fmt.Println()
 	}
 	rep.write(*jsonPath)
+}
+
+// runKernelSweep runs the extract-kernel A/B sweep on the Snort-sized
+// web rule set (clean-random + ISCX-like traffic, SWAR baseline always
+// included).
+func runKernelSweep(cfg experiments.Config, kernels []vpatch.Kernel, csvDir string, rep *report) {
+	fmt.Println("generating rule set (seeded, statistics of Snort v2.9.7)...")
+	set := patterns.GenerateS1(cfg.Seed).WebSubset()
+	fmt.Println("  " + patterns.DescribeSet("S1-web", set))
+	fmt.Println()
+	rows := experiments.KernelSweep(cfg, set, 8, kernels)
+	experiments.PrintKernelSweep(os.Stdout,
+		"Kernel sweep: extract-kernel filtering-round and full-scan throughput (V-PATCH W=8)", rows)
+	rep.KernelSweep = rows
+	writeCSV(csvDir, func() error { return experiments.WriteKernelSweepCSV(csvDir, "kernelsweep.csv", rows) })
 }
 
 // runAccelSweep runs the acceleration density sweep on the Snort-sized

@@ -1,0 +1,146 @@
+// Command vpatch-benchgate is the CI bench-regression gate: it compares
+// a fresh vpatch-bench -json snapshot against the previously committed
+// one and fails (exit 1) when throughput regressed beyond the allowed
+// drop.
+//
+// Usage:
+//
+//	vpatch-bench -kernels -json new.json
+//	vpatch-benchgate -old BENCH_007.json -new new.json -max-drop 0.10
+//
+// The primary gate is the kernel sweep's speedup-vs-SWAR ratios
+// (filter_speedup_vs_swar, scan_speedup_vs_swar): both snapshots
+// measure the native kernels and the SWAR baseline on the same host in
+// the same process, so the ratio cancels machine speed and is
+// comparable across CI runners. A ratio in the new snapshot more than
+// -max-drop below the committed one fails the gate. Rows for kernels
+// the running host lacks (e.g. an arm64 or pre-AVX2 runner) are
+// reported as skipped, not failed — the gate can only pin what the
+// host can run.
+//
+// -min-avx2-filter additionally enforces an absolute floor on the AVX2
+// clean-random filtering-round speedup (the paper's §VI claim; 0
+// disables). -abs extends the gate to raw Gbps values for same-machine
+// comparisons.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// snapshot mirrors the vpatch-bench report fields the gate reads; the
+// rest of the document is ignored so the gate tolerates report growth.
+type snapshot struct {
+	GeneratedAt string     `json:"generated_at"`
+	Kernel      string     `json:"kernel"`
+	KernelSweep []sweepRow `json:"kernel_sweep"`
+}
+
+type sweepRow struct {
+	Kernel        string  `json:"kernel"`
+	Traffic       string  `json:"traffic"`
+	FilterGbps    float64 `json:"filter_gbps"`
+	ScanGbps      float64 `json:"scan_gbps"`
+	FilterSpeedup float64 `json:"filter_speedup_vs_swar"`
+	ScanSpeedup   float64 `json:"scan_speedup_vs_swar"`
+}
+
+func load(path string) (*snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "committed baseline snapshot (vpatch-bench -json output)")
+	newPath := flag.String("new", "", "freshly measured snapshot to gate")
+	maxDrop := flag.Float64("max-drop", 0.10, "maximum allowed fractional drop per gated metric")
+	minAVX2 := flag.Float64("min-avx2-filter", 0, "absolute floor on the avx2 clean-random filter speedup (0 = off)")
+	abs := flag.Bool("abs", false, "also gate absolute Gbps (same-machine comparisons only)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldSnap, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(oldSnap.KernelSweep) == 0 {
+		fatal(fmt.Errorf("%s has no kernel_sweep rows to gate against", *oldPath))
+	}
+
+	newRows := map[string]sweepRow{}
+	for _, r := range newSnap.KernelSweep {
+		newRows[r.Kernel+"/"+r.Traffic] = r
+	}
+
+	failed := false
+	check := func(key, metric string, oldV, newV float64) {
+		if oldV <= 0 {
+			return // baseline never measured this metric
+		}
+		floor := oldV * (1 - *maxDrop)
+		if newV < floor {
+			fmt.Printf("FAIL %-24s %-22s %.3f -> %.3f (floor %.3f, -%.1f%%)\n",
+				key, metric, oldV, newV, floor, (1-newV/oldV)*100)
+			failed = true
+			return
+		}
+		fmt.Printf("ok   %-24s %-22s %.3f -> %.3f\n", key, metric, oldV, newV)
+	}
+	for _, o := range oldSnap.KernelSweep {
+		key := o.Kernel + "/" + o.Traffic
+		n, ok := newRows[key]
+		if !ok {
+			fmt.Printf("skip %-24s kernel not available on this host\n", key)
+			continue
+		}
+		if o.Kernel != "swar" {
+			// Ratios cancel host speed: the cross-runner gate.
+			check(key, "filter_speedup_vs_swar", o.FilterSpeedup, n.FilterSpeedup)
+			check(key, "scan_speedup_vs_swar", o.ScanSpeedup, n.ScanSpeedup)
+		}
+		if *abs {
+			check(key, "filter_gbps", o.FilterGbps, n.FilterGbps)
+			check(key, "scan_gbps", o.ScanGbps, n.ScanGbps)
+		}
+	}
+	if *minAVX2 > 0 {
+		key := "avx2/clean-random"
+		if n, ok := newRows[key]; !ok {
+			fmt.Printf("skip %-24s host has no AVX2 (floor %.2f not applicable)\n", key, *minAVX2)
+		} else if n.FilterSpeedup < *minAVX2 {
+			fmt.Printf("FAIL %-24s %-22s %.3f below floor %.2f\n",
+				key, "filter_speedup_vs_swar", n.FilterSpeedup, *minAVX2)
+			failed = true
+		} else {
+			fmt.Printf("ok   %-24s %-22s %.3f >= floor %.2f\n",
+				key, "filter_speedup_vs_swar", n.FilterSpeedup, *minAVX2)
+		}
+	}
+	if failed {
+		fmt.Println("bench gate: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("bench gate: passed")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpatch-benchgate:", err)
+	os.Exit(1)
+}

@@ -100,7 +100,8 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "vpatch-serve: default tenant now at generation %d\n", gen)
+		fmt.Fprintf(os.Stderr, "vpatch-serve: default tenant now at generation %d (kernel %s)\n",
+			gen, vpatch.ActiveKernel())
 		return nil
 	}
 	if err := reload(); err != nil {

@@ -184,6 +184,10 @@ type Info struct {
 	// zero value means the engine has none (Aho-Corasick, Wu-Manber,
 	// FFBF, Vector-DFC).
 	Accel AccelInfo
+	// Kernel is the extract kernel the engine's filtering round resolved
+	// to at Compile/Deserialize time ("avx2", "ssse3", "swar"); empty
+	// for engines without the kernel dispatch.
+	Kernel string
 }
 
 // AccelInfo summarizes the hot-path acceleration of a filtering engine:
@@ -229,6 +233,9 @@ func (e *Engine) Info() Info {
 			StartBytes:    ai.StartBytes,
 		}
 	}
+	if kr, ok := e.eng.(engine.KernelReporter); ok {
+		inf.Kernel = kr.KernelInfo()
+	}
 	if blob, err := e.Serialize(); err == nil {
 		inf.SerializedBytes = len(blob)
 	}
@@ -248,6 +255,9 @@ func (i Info) String() string {
 			a += fmt.Sprintf(" (density %.3f, %d start bytes)",
 				i.Accel.WindowDensity, i.Accel.StartBytes)
 		}
+	}
+	if i.Kernel != "" {
+		a += fmt.Sprintf(", kernel %s", i.Kernel)
 	}
 	return fmt.Sprintf("%s%s: %d patterns (max len %d), %s compiled state, %s serialized%s",
 		i.Algorithm, w, i.Patterns, i.MaxPatternLen,

@@ -94,9 +94,17 @@ type common struct {
 	// always load with acceleration rebuilt and enabled).
 	accel   *accel.Table
 	noAccel bool
+
+	// kern is the extract-loop kernel resolved at compile/decode time
+	// by the CPUID dispatch (fused.go setKernel); kblock/klook cache
+	// its geometry for the burst arithmetic. Host state, never
+	// serialized: a database re-dispatches on the loading host.
+	kern   vec.KernelID
+	kblock int
+	klook  int
 }
 
-func newCommon(set *patterns.Set, filter3Log2Bits uint, chunkSize int) common {
+func newCommon(set *patterns.Set, filter3Log2Bits uint, chunkSize int, kern vec.KernelID) common {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
@@ -107,6 +115,7 @@ func newCommon(set *patterns.Set, filter3Log2Bits uint, chunkSize int) common {
 		chunk:    chunkSize,
 	}
 	c.buildAccel()
+	c.setKernel(kern)
 	return c
 }
 

@@ -45,6 +45,10 @@ func decodeCommon(d *dbfmt.Decoder, set *patterns.Set) common {
 		// database format change.
 		c.buildAccel()
 	}
+	// The extract kernel is host state, never stored: re-dispatch from
+	// CPUID on the loading host (this is the Deserialize half of the
+	// Compile/Deserialize-time selection).
+	c.setKernel(vec.KernelAuto)
 	return c
 }
 

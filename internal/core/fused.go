@@ -5,6 +5,7 @@ import (
 
 	"vpatch/internal/accel"
 	"vpatch/internal/bitarr"
+	"vpatch/internal/vec"
 )
 
 // The fused production kernels of the filtering round, shared by the
@@ -66,6 +67,25 @@ func (m *common) buildAccel() {
 		return f1 || f2
 	})
 }
+
+// setKernel resolves the extract-loop kernel once, at compile or
+// database-decode time: the CPUID-gated dispatch of the ISSUE's native
+// kernels. The choice is host state, not compiled state — databases
+// never serialize it, so a .vpdb moved between hosts re-dispatches.
+func (m *common) setKernel(force vec.KernelID) {
+	k := vec.KernelSWAR
+	if m.accel != nil {
+		k = m.accel.SelectKernel(force)
+	} else if force != vec.KernelAuto && vec.Available(force) {
+		k = force
+	}
+	m.kern = k
+	m.kblock, m.klook = accel.Geometry(k)
+}
+
+// KernelInfo reports the resolved extract kernel
+// (engine.KernelReporter).
+func (m *common) KernelInfo() string { return m.kern.String() }
 
 // AccelInfo reports the engine's acceleration configuration
 // (engine.AccelReporter).
@@ -291,71 +311,83 @@ func (m *common) plainRangeMerged(scr *Scratch, input []byte, i, end int, stores
 }
 
 // accelWindowRangeMerged processes [start, mainEnd) with the branchless
-// window-bitmap skip (accel.Extract): viable positions compact into the
-// scratch queue and drain through the probe chain at the queue
-// watermark. The loop runs in *bursts* sized so that neither the queue
-// nor the governor checkpoint can trip inside one — the burst interior
-// has no data-dependent branches at all. A checkpoint every
-// accel.SpanBytes evaluates the viable fraction and falls back to the
-// plain kernel for accel.PlainBytes when skipping stops paying.
-// mainEnd <= len(input)-3.
+// window-bitmap skip: the resolved kernel (accel.ExtractKernel —
+// assembly classifiers on capable hosts, the SWAR pack loop otherwise)
+// compacts viable positions into the scratch queue, and the probe chain
+// drains it at the queue watermark. The loop runs in *bursts* sized so
+// that neither the queue (block stores per step) nor the governor
+// checkpoint can trip inside one — the burst interior has no
+// data-dependent branches at all. A checkpoint every accel.SpanBytes
+// evaluates the viable fraction and falls back to the plain kernel for
+// accel.PlainBytes when skipping stops paying. When a wide kernel runs
+// out of full blocks (or read lookahead), a second pass sweeps the
+// remainder with SWAR geometry over the same queue and governor state,
+// so short buffers and range tails cost exactly what they did before
+// the native kernels existed. mainEnd <= len(input)-3.
 func (m *common) accelWindowRangeMerged(scr *Scratch, input []byte, start, mainEnd int, stores bool) {
 	t := m.accel
 	q := &scr.aq
 	w := 0
 	i := start
-	packEnd := mainEnd - 5
-	if lim := len(input) - 8; lim < packEnd {
-		packEnd = lim
-	}
 	checkAt := i + accel.SpanBytes
 	spanStart := i
 	drained := 0 // viable positions drained since spanStart
-	for i <= packEnd {
-		// Bound the burst by queue room (5 stores per pack) and the
-		// governor checkpoint.
-		room := (accel.QueueLen - 5 - w) / 5 // packs until possible overflow
-		if room == 0 {
-			drained += w
-			m.drainMerged(scr, input, q[:w], stores)
-			w = 0
-			continue
+	kern, blk, look := m.kern, m.kblock, m.klook
+	for {
+		packEnd := mainEnd - blk
+		if lim := len(input) - look; lim < packEnd {
+			packEnd = lim
 		}
-		// limit is the last allowed pack start: capped by queue room,
-		// the range end, and the checkpoint (a pack may start at
-		// checkAt, so i always crosses it — forward progress).
-		limit := i + (room-1)*5
-		if packEnd < limit {
-			limit = packEnd
-		}
-		if checkAt < limit {
-			limit = checkAt
-		}
-		i, w = t.Extract(input, i, limit, q, w)
-		if w >= accel.QueueLen-5 {
-			drained += w
-			m.drainMerged(scr, input, q[:w], stores)
-			w = 0
-		}
-		if i >= checkAt {
-			// Governor checkpoint: the queue content counts toward the
-			// span's viable positions without being drained (it carries
-			// across accelerated spans).
-			if !accel.KeepAccel(drained+w, i-spanStart) {
+		for i <= packEnd {
+			// Bound the burst by queue room (blk stores per block) and
+			// the governor checkpoint.
+			room := (accel.QueueLen - blk - w) / blk // blocks until possible overflow
+			if room == 0 {
 				drained += w
 				m.drainMerged(scr, input, q[:w], stores)
 				w = 0
-				plainEnd := i + accel.PlainBytes
-				if plainEnd > mainEnd {
-					plainEnd = mainEnd
-				}
-				m.plainRangeMerged(scr, input, i, plainEnd, stores)
-				i = plainEnd
+				continue
 			}
-			spanStart = i
-			drained = 0
-			checkAt = i + accel.SpanBytes
+			// limit is the last allowed block start: capped by queue
+			// room, the range end, and the checkpoint (a block may start
+			// at checkAt, so i always crosses it — forward progress).
+			limit := i + (room-1)*blk
+			if packEnd < limit {
+				limit = packEnd
+			}
+			if checkAt < limit {
+				limit = checkAt
+			}
+			i, w = t.ExtractKernel(kern, input, i, limit, q, w)
+			if w >= accel.QueueLen-blk {
+				drained += w
+				m.drainMerged(scr, input, q[:w], stores)
+				w = 0
+			}
+			if i >= checkAt {
+				// Governor checkpoint: the queue content counts toward
+				// the span's viable positions without being drained (it
+				// carries across accelerated spans).
+				if !accel.KeepAccel(drained+w, i-spanStart) {
+					drained += w
+					m.drainMerged(scr, input, q[:w], stores)
+					w = 0
+					plainEnd := i + accel.PlainBytes
+					if plainEnd > mainEnd {
+						plainEnd = mainEnd
+					}
+					m.plainRangeMerged(scr, input, i, plainEnd, stores)
+					i = plainEnd
+				}
+				spanStart = i
+				drained = 0
+				checkAt = i + accel.SpanBytes
+			}
 		}
+		if kern == vec.KernelSWAR {
+			break
+		}
+		kern, blk, look = vec.KernelSWAR, 5, 8 // SWAR finish pass
 	}
 	m.drainMerged(scr, input, q[:w], stores)
 	// Remainder: fewer than 8 loadable bytes left; probe per position.
@@ -508,56 +540,64 @@ func (m *common) plainRangeSplit(scr *Scratch, input []byte, i, end int) {
 	}
 }
 
-// accelWindowRangeSplit mirrors accelWindowRangeMerged for S-PATCH.
+// accelWindowRangeSplit mirrors accelWindowRangeMerged for S-PATCH,
+// including the kernel dispatch and the SWAR finish pass.
 func (m *common) accelWindowRangeSplit(scr *Scratch, input []byte, start, mainEnd int) {
 	t := m.accel
 	q := &scr.aq
 	w := 0
 	i := start
-	packEnd := mainEnd - 5
-	if lim := len(input) - 8; lim < packEnd {
-		packEnd = lim
-	}
 	checkAt := i + accel.SpanBytes
 	spanStart := i
 	drained := 0
-	for i <= packEnd {
-		room := (accel.QueueLen - 5 - w) / 5
-		if room == 0 {
-			drained += w
-			m.drainSplit(scr, input, q[:w])
-			w = 0
-			continue
+	kern, blk, look := m.kern, m.kblock, m.klook
+	for {
+		packEnd := mainEnd - blk
+		if lim := len(input) - look; lim < packEnd {
+			packEnd = lim
 		}
-		limit := i + (room-1)*5
-		if packEnd < limit {
-			limit = packEnd
-		}
-		if checkAt < limit {
-			limit = checkAt
-		}
-		i, w = t.Extract(input, i, limit, q, w)
-		if w >= accel.QueueLen-5 {
-			drained += w
-			m.drainSplit(scr, input, q[:w])
-			w = 0
-		}
-		if i >= checkAt {
-			if !accel.KeepAccel(drained+w, i-spanStart) {
+		for i <= packEnd {
+			room := (accel.QueueLen - blk - w) / blk
+			if room == 0 {
 				drained += w
 				m.drainSplit(scr, input, q[:w])
 				w = 0
-				plainEnd := i + accel.PlainBytes
-				if plainEnd > mainEnd {
-					plainEnd = mainEnd
-				}
-				m.plainRangeSplit(scr, input, i, plainEnd)
-				i = plainEnd
+				continue
 			}
-			spanStart = i
-			drained = 0
-			checkAt = i + accel.SpanBytes
+			limit := i + (room-1)*blk
+			if packEnd < limit {
+				limit = packEnd
+			}
+			if checkAt < limit {
+				limit = checkAt
+			}
+			i, w = t.ExtractKernel(kern, input, i, limit, q, w)
+			if w >= accel.QueueLen-blk {
+				drained += w
+				m.drainSplit(scr, input, q[:w])
+				w = 0
+			}
+			if i >= checkAt {
+				if !accel.KeepAccel(drained+w, i-spanStart) {
+					drained += w
+					m.drainSplit(scr, input, q[:w])
+					w = 0
+					plainEnd := i + accel.PlainBytes
+					if plainEnd > mainEnd {
+						plainEnd = mainEnd
+					}
+					m.plainRangeSplit(scr, input, i, plainEnd)
+					i = plainEnd
+				}
+				spanStart = i
+				drained = 0
+				checkAt = i + accel.SpanBytes
+			}
 		}
+		if kern == vec.KernelSWAR {
+			break
+		}
+		kern, blk, look = vec.KernelSWAR, 5, 8
 	}
 	m.drainSplit(scr, input, q[:w])
 	for ; i < mainEnd; i++ {

@@ -1,0 +1,73 @@
+//go:build linux
+
+package core
+
+import (
+	"math/rand"
+	"syscall"
+	"testing"
+
+	"vpatch/internal/patterns"
+	"vpatch/internal/vec"
+)
+
+// TestKernelPageBoundary places inputs flush against an unmapped guard
+// page and scans them with every kernel. The vector kernels read a
+// lookahead window past each probed position; the fused loop's packEnd
+// arithmetic must keep those reads inside the buffer, and this test
+// makes any overread a hard SIGSEGV instead of a silent success.
+func TestKernelPageBoundary(t *testing.T) {
+	page := syscall.Getpagesize()
+	const pages = 4
+	mem, err := syscall.Mmap(-1, 0, pages*page,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS)
+	if err != nil {
+		t.Fatalf("mmap: %v", err)
+	}
+	defer syscall.Munmap(mem)
+	// Revoke the last page: any read beyond the buffer faults.
+	if err := syscall.Mprotect(mem[(pages-1)*page:], syscall.PROT_NONE); err != nil {
+		t.Fatalf("mprotect: %v", err)
+	}
+	usable := mem[:(pages-1)*page]
+
+	rng := rand.New(rand.NewSource(77))
+	sets := []*patterns.Set{genSet(77), genBinarySet(77)}
+	// Lengths bracketing the kernel block/lookahead geometry, each ending
+	// exactly at the guard page.
+	lengths := []int{0, 1, 4, 7, 8, 31, 32, 33, 63, 64, 65, 71, 72, 73,
+		127, 128, 200, 511, 512, 513, 2000, len(usable)}
+	for _, n := range lengths {
+		if n > len(usable) {
+			continue
+		}
+		buf := usable[len(usable)-n:]
+		for trial := 0; trial < 2; trial++ {
+			if trial == 0 {
+				copy(buf, genInput(int64(n), n))
+			} else {
+				rng.Read(buf)
+			}
+			for _, set := range sets {
+				want := patterns.FindAllNaive(set, buf)
+				for _, k := range vec.Kernels() {
+					vp := NewVPatch(set, VOptions{ForceKernel: k})
+					got := vp.collect(buf)
+					patterns.SortMatches(got)
+					if !patterns.EqualMatches(got, want) {
+						t.Fatalf("len %d kernel %v: V-PATCH %d matches, naive %d",
+							n, k, len(got), len(want))
+					}
+					sp := NewSPatch(set, Options{ForceKernel: k})
+					sgot := sp.collect(buf)
+					patterns.SortMatches(sgot)
+					if !patterns.EqualMatches(sgot, want) {
+						t.Fatalf("len %d kernel %v: S-PATCH %d matches, naive %d",
+							n, k, len(sgot), len(want))
+					}
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"vpatch/internal/engine"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
+	"vpatch/internal/vec"
 )
 
 // SPatch is the scalar algorithm of §IV-A: DFC's filtering redesigned for
@@ -35,11 +36,14 @@ type Options struct {
 	// forcing the plain probe loops. Ablation/benchmark switch; not
 	// serialized.
 	NoAccel bool
+	// ForceKernel pins the extract-loop kernel instead of the CPUID
+	// auto-dispatch (see core.VOptions.ForceKernel).
+	ForceKernel vec.KernelID
 }
 
 // NewSPatch compiles the pattern set.
 func NewSPatch(set *patterns.Set, opt Options) *SPatch {
-	m := &SPatch{common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize)}
+	m := &SPatch{common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize, opt.ForceKernel)}
 	m.noAccel = opt.NoAccel
 	return m
 }

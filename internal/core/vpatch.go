@@ -78,6 +78,12 @@ type VOptions struct {
 	// forcing the plain probe kernels. Ablation/benchmark switch; not
 	// serialized (databases load with acceleration rebuilt and on).
 	NoAccel bool
+	// ForceKernel pins the extract-loop kernel instead of the CPUID
+	// auto-dispatch (vec.KernelAuto). A kernel the host cannot run
+	// degrades to SWAR — the public API validates availability before
+	// construction. Host state, not serialized: databases re-dispatch
+	// on the loading host.
+	ForceKernel vec.KernelID
 }
 
 // NewVPatch compiles the pattern set.
@@ -86,7 +92,7 @@ func NewVPatch(set *patterns.Set, opt VOptions) *VPatch {
 		opt.Width = 8
 	}
 	m := &VPatch{
-		common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize),
+		common: newCommon(set, opt.Filter3Log2Bits, opt.ChunkSize, opt.ForceKernel),
 		eng:    vec.New(opt.Width),
 		opt:    opt,
 	}

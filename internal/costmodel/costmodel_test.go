@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -92,8 +93,8 @@ func TestDFAModelDegradesOnMissGrowth(t *testing.T) {
 	if at2x <= atL3 {
 		t.Fatalf("no degradation beyond L3: %v vs %v", atL3, at2x)
 	}
-	// Miss fraction is capped.
-	huge := p.dfaAccessCost(1 << 40)
+	// Miss fraction is capped (MaxInt: portable to 32-bit GOARCHes).
+	huge := p.dfaAccessCost(math.MaxInt)
 	if huge > 0.6*p.MemLat+p.L1Lat {
 		t.Fatalf("miss cap not applied: %v", huge)
 	}

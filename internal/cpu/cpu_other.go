@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package cpu
+
+// Non-amd64 builds have no native kernels; the flags stay false and the
+// engines select the portable SWAR path.

@@ -1,0 +1,21 @@
+package cpu
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestProbe exercises the init-time probe: it cannot assert specific
+// features (the test must pass on any host), but it can assert the
+// implications the dispatch logic relies on.
+func TestProbe(t *testing.T) {
+	t.Logf("GOARCH=%s HasAVX2=%v HasSSSE3=%v", runtime.GOARCH, HasAVX2, HasSSSE3)
+	if runtime.GOARCH != "amd64" && (HasAVX2 || HasSSSE3) {
+		t.Fatalf("non-amd64 build reports amd64 features (avx2=%v ssse3=%v)", HasAVX2, HasSSSE3)
+	}
+	if HasAVX2 && !HasSSSE3 {
+		// Every AVX2-capable processor implements SSSE3; a probe that
+		// disagrees mis-decoded CPUID.
+		t.Fatalf("probe reports AVX2 without SSSE3")
+	}
+}

@@ -69,6 +69,15 @@ type AccelReporter interface {
 	AccelInfo() accel.Info
 }
 
+// KernelReporter is implemented by engines whose filtering round
+// dispatches to a CPU-specific extract kernel (S-PATCH, V-PATCH). It
+// reports the kernel resolved at Compile/Deserialize time ("avx2",
+// "ssse3", "swar"); the public Engine.Info and the serve daemon's
+// /metrics surface it.
+type KernelReporter interface {
+	KernelInfo() string
+}
+
 // BatchEmitFunc receives matches found by a batch scan: buf is the
 // index within the batch of the buffer the match occurred in, and the
 // match's Pos is relative to that buffer. nil means count-only.

@@ -689,6 +689,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	promSample(&b, "vpatch_uptime_seconds", "", time.Since(s.start).Seconds())
 	promFamily(&b, "vpatch_tenants", "gauge", "Registered tenants.")
 	promSample(&b, "vpatch_tenants", "", float64(len(rows)))
+	promFamily(&b, "vpatch_kernel_info", "gauge", "Extract kernel the filtering engines dispatch to on this host (constant 1).")
+	promSample(&b, "vpatch_kernel_info", `kernel="`+vpatch.ActiveKernel().String()+`"`, 1)
 
 	// HTTP request instrumentation.
 	promFamily(&b, "vpatch_http_requests_total", "counter", "HTTP requests by handler and status code.")

@@ -1,0 +1,100 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The assembly classifiers are verified bit-for-bit against the
+// portable references on random bitmaps/tables and random buffers at
+// every alignment. On purego builds (or foreign architectures) the
+// entry points *are* the references, so the tests still run and pin
+// the fallback path.
+
+func TestKernelNames(t *testing.T) {
+	for _, k := range []KernelID{KernelAuto, KernelSWAR, KernelSSSE3, KernelAVX2} {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKernel(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKernel("mmx"); err == nil {
+		t.Fatal("ParseKernel accepted an unknown kernel")
+	}
+	if !Available(KernelSWAR) || !Available(KernelAuto) {
+		t.Fatal("SWAR/auto must always be available")
+	}
+	if b := Best(); !Available(b) || b == KernelAuto {
+		t.Fatalf("Best() = %v, not a concrete available kernel", b)
+	}
+	t.Logf("host kernels: %v (best %v)", Kernels(), Best())
+}
+
+func TestViableMask64MatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var bitmap [1024]uint64
+	for trial := 0; trial < 200; trial++ {
+		// Sweep densities from almost-empty to almost-full.
+		for i := range bitmap {
+			bitmap[i] = rng.Uint64() & rng.Uint64() & rng.Uint64()
+			if trial%3 == 1 {
+				bitmap[i] |= rng.Uint64()
+			}
+		}
+		buf := make([]byte, 4096)
+		if trial%2 == 0 {
+			rng.Read(buf)
+		} else {
+			for i := range buf {
+				buf[i] = byte("abc"[rng.Intn(3)]) // dense repeats
+			}
+		}
+		for _, at := range []int{0, 1, 2, 3, 5, 7, 13, 63, 64, 100, len(buf) - ViableLookahead} {
+			want := ViableMask64Ref(buf, at, &bitmap)
+			got := ViableMask64(&buf[at], &bitmap[0])
+			if got != want {
+				t.Fatalf("trial %d at %d: ViableMask64 = %#x, ref %#x", trial, at, got, want)
+			}
+		}
+	}
+}
+
+func TestPairMask32MatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var tabs PairTabs
+		nFirst, nSecond := rng.Intn(40), rng.Intn(40)
+		for i := 0; i < nFirst; i++ {
+			tabs.SetMember(0, byte(rng.Intn(256)))
+		}
+		for i := 0; i < nSecond; i++ {
+			tabs.SetMember(32, byte(rng.Intn(256)))
+		}
+		buf := make([]byte, 2048)
+		rng.Read(buf)
+		for _, at := range []int{0, 1, 3, 15, 16, 17, 31, 32, 33, 100, len(buf) - PairLookahead} {
+			want := PairMask32Ref(buf, at, &tabs)
+			got := PairMask32(&buf[at], &tabs)
+			if got != want {
+				t.Fatalf("trial %d at %d: PairMask32 = %#x, ref %#x", trial, at, got, want)
+			}
+		}
+	}
+}
+
+// TestPairTabsMembership pins the Truffle descriptor encode/decode on
+// every byte value.
+func TestPairTabsMembership(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		var tabs PairTabs
+		tabs.SetMember(0, byte(b))
+		for c := 0; c < 256; c++ {
+			if got, want := tabs.Member(0, byte(c)), c == b; got != want {
+				t.Fatalf("member(%d) after set(%d): %v", c, b, got)
+			}
+			if tabs.Member(32, byte(c)) {
+				t.Fatalf("second-set membership leaked from first set (b=%d c=%d)", b, c)
+			}
+		}
+	}
+}

@@ -58,6 +58,54 @@ func TestSubWindowInputsAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestSubWindowInputsPerKernel repeats the sub-window sweep through the
+// public ForceKernel option for the filtering engines: every available
+// extract kernel must agree with the naive reference on buffers shorter
+// than (and bracketing) its own block and lookahead geometry.
+func TestSubWindowInputsPerKernel(t *testing.T) {
+	set := PatternSetFromStrings("a", "ab", "abc", "abcd", "bcdef")
+	inputs := []string{
+		"", "a", "b", "ab", "ba", "abc", "abcd", "abcde",
+		"xyzzyxa", "abababababab",
+	}
+	// Lengths around the SSSE3 (32/33) and AVX2 (64/72) geometry.
+	for _, n := range []int{31, 32, 33, 63, 64, 65, 71, 72, 73, 100} {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = "abcdex"[i%6]
+		}
+		inputs = append(inputs, string(b))
+	}
+	for _, alg := range []Algorithm{AlgoVPatch, AlgoSPatch} {
+		for _, k := range AvailableKernels() {
+			eng, err := Compile(set, Options{Algorithm: alg, ForceKernel: k})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, k, err)
+			}
+			if inf := eng.Info(); inf.Kernel != k.String() {
+				t.Fatalf("%s forced %s but Info reports %q", alg, k, inf.Kernel)
+			}
+			for _, in := range inputs {
+				want := patterns.FindAllNaive(set, []byte(in))
+				got := eng.FindAll([]byte(in))
+				if !patterns.EqualMatches(got, want) {
+					t.Errorf("%s/%s on %q: got %v, want %v", alg, k, in, got, want)
+				}
+			}
+		}
+	}
+	// Forcing a kernel the host lacks must fail at Compile, not degrade
+	// silently.
+	for _, k := range []Kernel{KernelSSSE3, KernelAVX2} {
+		if KernelAvailable(k) {
+			continue
+		}
+		if _, err := Compile(set, Options{ForceKernel: k}); err == nil {
+			t.Errorf("Compile accepted unavailable kernel %s", k)
+		}
+	}
+}
+
 // TestSubWindowBatch drives the same boundary inputs through ScanBatch
 // in one call per algorithm (tiny buffers exercise the batch lane
 // refill and fallback paths at the same boundaries).

@@ -68,6 +68,7 @@ import (
 	"vpatch/internal/ffbf"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
+	"vpatch/internal/vec"
 	"vpatch/internal/wumanber"
 )
 
@@ -172,6 +173,50 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("vpatch: unknown algorithm %q (want vpatch, spatch, dfc, vectordfc, ac, wumanber or ffbf)", name)
 }
 
+// Kernel identifies a native filtering-round kernel of the filtering
+// engines (S-PATCH, V-PATCH). The engines' hot extract loop dispatches
+// once, at Compile/Deserialize time, to the best kernel the host CPU
+// supports (CPUID-probed); Options.ForceKernel pins a specific one for
+// A/B measurement or to force the portable SWAR reference oracle.
+type Kernel = vec.KernelID
+
+// Kernel identifiers, re-exported.
+const (
+	// KernelAuto dispatches to the best available kernel (default).
+	KernelAuto = vec.KernelAuto
+	// KernelSWAR is the portable fused path: always available, on every
+	// architecture, and the reference oracle the assembly kernels are
+	// property-tested against.
+	KernelSWAR = vec.KernelSWAR
+	// KernelSSSE3 is the 16-lane PSHUFB byte-pair classifier (amd64).
+	KernelSSSE3 = vec.KernelSSSE3
+	// KernelAVX2 is the 32-lane shuffle/gather/movemask classifier
+	// (amd64), the paper's §IV-B instruction recipe in hardware.
+	KernelAVX2 = vec.KernelAVX2
+)
+
+// ParseKernel resolves a kernel name ("auto", "swar", "ssse3", "avx2"),
+// case-insensitively. The inverse of Kernel.String.
+func ParseKernel(name string) (Kernel, error) {
+	k, err := vec.ParseKernel(name)
+	if err != nil {
+		return 0, fmt.Errorf("vpatch: %w", err)
+	}
+	return k, nil
+}
+
+// KernelAvailable reports whether kernel k can run on this host and
+// build (KernelAuto and KernelSWAR always can).
+func KernelAvailable(k Kernel) bool { return vec.Available(k) }
+
+// ActiveKernel returns the kernel KernelAuto resolves to on this host:
+// what a default Compile or Deserialize will scan with.
+func ActiveKernel() Kernel { return vec.Best() }
+
+// AvailableKernels lists the kernels this host can run, KernelSWAR
+// first.
+func AvailableKernels() []Kernel { return vec.Kernels() }
+
 // Options configures Compile. The zero value selects V-PATCH with the
 // paper's defaults (W=8 lanes, 16 KB filter 3, 64 KB chunks).
 type Options struct {
@@ -196,6 +241,13 @@ type Options struct {
 	// ablation benchmarks and A/B measurement. See the README's
 	// performance guide.
 	NoAccel bool
+	// ForceKernel pins the filtering engines' extract kernel instead of
+	// the CPUID auto-dispatch: KernelSWAR forces the portable reference
+	// path, KernelAVX2/KernelSSSE3 the native classifiers. Compile
+	// fails when the host cannot run the forced kernel. Ignored by
+	// engines without the kernel dispatch (DFC, Aho-Corasick, ...), and
+	// never serialized — a database re-dispatches on the loading host.
+	ForceKernel Kernel
 }
 
 // Engine is the compiled, immutable form of a pattern set: all filter
@@ -230,6 +282,10 @@ func Compile(set *PatternSet, opt Options) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("vpatch: unsupported vector width %d (want 4, 8 or 16)", w)
 	}
+	if !vec.Available(opt.ForceKernel) {
+		return nil, fmt.Errorf("vpatch: kernel %s is not available on this host (have %v)",
+			opt.ForceKernel, AvailableKernels())
+	}
 	var eng engine.Engine
 	switch opt.Algorithm {
 	case AlgoVPatch:
@@ -238,12 +294,14 @@ func Compile(set *PatternSet, opt Options) (*Engine, error) {
 			ChunkSize:       opt.ChunkSize,
 			Filter3Log2Bits: opt.Filter3Log2Bits,
 			NoAccel:         opt.NoAccel,
+			ForceKernel:     opt.ForceKernel,
 		})
 	case AlgoSPatch:
 		eng = core.NewSPatch(set, core.Options{
 			ChunkSize:       opt.ChunkSize,
 			Filter3Log2Bits: opt.Filter3Log2Bits,
 			NoAccel:         opt.NoAccel,
+			ForceKernel:     opt.ForceKernel,
 		})
 	case AlgoDFC:
 		d := dfc.Build(set)
