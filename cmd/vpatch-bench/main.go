@@ -8,6 +8,8 @@
 //	vpatch-bench -sizes 64,256,1514,imix -batch 32
 //	                                # packet-size sweep: serial vs batch
 //	vpatch-bench -accel             # acceleration density sweep
+//	vpatch-bench -ingest            # end-to-end ingest sweep:
+//	                                # per-segment vs batched dispatch
 //	vpatch-bench -kernels           # extract-kernel A/B sweep (all kernels)
 //	vpatch-bench -kernel avx2       # kernel sweep: avx2 vs the swar baseline
 //	vpatch-bench -db web.vpdb      # startup: load vs recompile + scan
@@ -36,6 +38,17 @@
 // (0-100% match fraction x packet-to-chunk buffer sizes): accelerated
 // vs plain fused kernels plus the skip ratio per cell — the crossover
 // evidence behind the acceleration layer's governor thresholds.
+//
+// The -ingest mode runs the end-to-end ingest sweep: a simulated
+// capture loop rents arena chunks and drives the sharded dispatcher
+// with per-segment Handle calls versus batched HandleBatch slabs,
+// reporting segments/s and Gbps per segment size — the evidence behind
+// the batched-handoff ingest path, and the section the bench gate pins
+// for ingest regressions.
+//
+// Sweep and startup modes combine: -kernels -sizes 64 -ingest in one
+// invocation runs all three and writes one JSON report with every
+// section.
 //
 // The -kernels mode (or -kernel with a specific kernel name and no
 // figure selection) runs the extract-kernel A/B sweep: each kernel's
@@ -79,6 +92,7 @@ type report struct {
 	Figures     map[string]figEntry          `json:"figures,omitempty"`
 	KernelSweep []experiments.KernelSweepRow `json:"kernel_sweep,omitempty"`
 	BatchSweep  []experiments.BatchSweepRow  `json:"batch_sweep,omitempty"`
+	IngestSweep []experiments.IngestSweepRow `json:"ingest_sweep,omitempty"`
 	AccelSweep  []experiments.AccelSweepRow  `json:"accel_sweep,omitempty"`
 	DB          *dbReport                    `json:"db,omitempty"`
 }
@@ -142,6 +156,9 @@ func main() {
 	batchN := flag.Int("batch", 32, "buffers per ScanBatch call in the packet sweep")
 	dbPath := flag.String("db", "", "precompiled .vpdb database: run the load-vs-compile startup benchmark instead of figures")
 	accelSweep := flag.Bool("accel", false, "run the skip-loop acceleration density sweep instead of figures")
+	ingestSweep := flag.Bool("ingest", false, "run the end-to-end ingest sweep (per-segment vs batched dispatch) instead of figures")
+	ingestShards := flag.Int("ingest-shards", 0, "worker shards in the ingest sweep (0 = one per core)")
+	ingestBatch := flag.Int("ingest-batch", 0, "segments per HandleBatch call in the ingest sweep (0 = dispatcher default)")
 	kernelFlag := flag.String("kernel", "auto", "extract kernel to force (auto, avx2, ssse3, swar); with no figure selection, runs the kernel sweep for it vs the swar baseline")
 	kernelsMode := flag.Bool("kernels", false, "run the extract-kernel A/B sweep over every kernel available on this host")
 	jsonPath := flag.String("json", "", "write all results of this run as JSON to the given path ('-' = stdout)")
@@ -173,28 +190,37 @@ func main() {
 		Kernel:      resolved.String(),
 	}
 
+	// The sweep and startup modes combine: one invocation may run any
+	// subset of them (e.g. -kernels -sizes ... -ingest) and the -json
+	// report carries every section produced — how CI builds the single
+	// BENCH snapshot the bench-regression gate pins.
+	ranMode := false
 	if *kernelsMode || (kern != vpatch.KernelAuto && *fig == "" && !*all &&
-		*sizesFlag == "" && *dbPath == "" && !*accelSweep) {
+		*sizesFlag == "" && *dbPath == "" && !*accelSweep && !*ingestSweep) {
 		kernels := vpatch.AvailableKernels()
 		if !*kernelsMode {
 			kernels = []vpatch.Kernel{resolved}
 		}
 		runKernelSweep(cfg, kernels, *csvDir, rep)
-		rep.write(*jsonPath)
-		return
+		ranMode = true
 	}
 	if *dbPath != "" {
 		runDBBench(cfg, *dbPath, rep)
-		rep.write(*jsonPath)
-		return
+		ranMode = true
 	}
 	if *accelSweep {
 		runAccelSweep(cfg, *csvDir, rep)
-		rep.write(*jsonPath)
-		return
+		ranMode = true
 	}
 	if *sizesFlag != "" {
 		runBatchSweep(cfg, *sizesFlag, *batchN, *csvDir, rep)
+		ranMode = true
+	}
+	if *ingestSweep {
+		runIngestSweep(cfg, *ingestShards, *ingestBatch, *csvDir, rep)
+		ranMode = true
+	}
+	if ranMode {
 		rep.write(*jsonPath)
 		return
 	}
@@ -409,6 +435,30 @@ func runBatchSweep(cfg experiments.Config, sizesFlag string, batch int, csvDir s
 		fmt.Sprintf("Batch sweep: V-PATCH serial vs lane-per-packet batch (W=8, batch=%d), ISCX-day2 traffic", batch), rows)
 	rep.BatchSweep = rows
 	writeCSV(csvDir, func() error { return experiments.WriteBatchSweepCSV(csvDir, "batchsweep.csv", rows) })
+}
+
+// runIngestSweep runs the end-to-end ingest sweep (capture loop →
+// arena → dispatcher → reassembly → scan) at 64B, IMIX, and 1514B
+// segments. It pins a small fixed rule set on purpose: the sweep's
+// subject is the handoff path — rent, ownership transfer, channel
+// operations, reassembly — so scan work is kept light enough not to
+// drown the signal. Scan-bound throughput at full rule scale is what
+// the figures and the kernel sweep measure.
+func runIngestSweep(cfg experiments.Config, shards, batch int, csvDir string, rep *report) {
+	set := patterns.FromStrings(
+		"attack-sig-001", "malware-beacon", "exploit-shellcode",
+		"/etc/passwd", "cmd.exe /c", "union select", "../../..",
+		"X-Backdoor-Key",
+	)
+	fmt.Printf("ingest rule set: %d fixed signatures (handoff-bound on purpose)\n\n", set.Len())
+	rows := experiments.IngestSweep(cfg, set, []int{64, 0, 1514}, shards, batch)
+	title := "Ingest sweep: per-segment vs batched dispatch, ISCX-day2 traffic"
+	if len(rows) > 0 {
+		title = fmt.Sprintf("Ingest sweep: per-segment vs batched dispatch through %d shard(s), ISCX-day2 traffic", rows[0].Shards)
+	}
+	experiments.PrintIngestSweep(os.Stdout, title, rows)
+	rep.IngestSweep = rows
+	writeCSV(csvDir, func() error { return experiments.WriteIngestSweepCSV(csvDir, "ingestsweep.csv", rows) })
 }
 
 // writeCSV runs the export when a CSV directory was requested.

@@ -18,9 +18,19 @@
 // reported as skipped, not failed — the gate can only pin what the
 // host can run.
 //
+// When the snapshots carry batch_sweep or ingest_sweep sections, their
+// speedup ratios are gated the same way: batch-over-serial scan speedup
+// per packet size, and batched-over-per-segment dispatch speedup per
+// segment size (with its own tolerance, -ingest-max-drop, since
+// end-to-end pipeline timings are noisier than scan loops). Snapshots
+// from before a section existed simply skip it — the gate only pins
+// what both snapshots measured.
+//
 // -min-avx2-filter additionally enforces an absolute floor on the AVX2
 // clean-random filtering-round speedup (the paper's §VI claim; 0
-// disables). -abs extends the gate to raw Gbps values for same-machine
+// disables). -min-ingest-64 enforces an absolute floor on the 64-byte
+// batched-dispatch speedup (the batched-handoff claim; 0 disables).
+// -abs extends the gate to raw Gbps values for same-machine
 // comparisons.
 package main
 
@@ -34,9 +44,11 @@ import (
 // snapshot mirrors the vpatch-bench report fields the gate reads; the
 // rest of the document is ignored so the gate tolerates report growth.
 type snapshot struct {
-	GeneratedAt string     `json:"generated_at"`
-	Kernel      string     `json:"kernel"`
-	KernelSweep []sweepRow `json:"kernel_sweep"`
+	GeneratedAt string      `json:"generated_at"`
+	Kernel      string      `json:"kernel"`
+	KernelSweep []sweepRow  `json:"kernel_sweep"`
+	BatchSweep  []batchRow  `json:"batch_sweep"`
+	IngestSweep []ingestRow `json:"ingest_sweep"`
 }
 
 type sweepRow struct {
@@ -46,6 +58,20 @@ type sweepRow struct {
 	ScanGbps      float64 `json:"scan_gbps"`
 	FilterSpeedup float64 `json:"filter_speedup_vs_swar"`
 	ScanSpeedup   float64 `json:"scan_speedup_vs_swar"`
+}
+
+type batchRow struct {
+	Label      string  `json:"label"`
+	SerialGbps float64 `json:"serial_gbps"`
+	BatchGbps  float64 `json:"batch_gbps"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type ingestRow struct {
+	Label             string  `json:"label"`
+	PerSegmentSegsSec float64 `json:"per_segment_segs_per_sec"`
+	BatchedSegsSec    float64 `json:"batched_segs_per_sec"`
+	BatchedSpeedup    float64 `json:"batched_speedup_vs_per_segment"`
 }
 
 func load(path string) (*snapshot, error) {
@@ -64,7 +90,9 @@ func main() {
 	oldPath := flag.String("old", "", "committed baseline snapshot (vpatch-bench -json output)")
 	newPath := flag.String("new", "", "freshly measured snapshot to gate")
 	maxDrop := flag.Float64("max-drop", 0.10, "maximum allowed fractional drop per gated metric")
+	ingestMaxDrop := flag.Float64("ingest-max-drop", 0.25, "maximum allowed fractional drop for ingest-sweep ratios (pipeline timings are noisier)")
 	minAVX2 := flag.Float64("min-avx2-filter", 0, "absolute floor on the avx2 clean-random filter speedup (0 = off)")
+	minIngest64 := flag.Float64("min-ingest-64", 0, "absolute floor on the 64-byte batched-dispatch speedup (0 = off)")
 	abs := flag.Bool("abs", false, "also gate absolute Gbps (same-machine comparisons only)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -90,18 +118,21 @@ func main() {
 	}
 
 	failed := false
-	check := func(key, metric string, oldV, newV float64) {
+	checkDrop := func(key, metric string, oldV, newV, drop float64) {
 		if oldV <= 0 {
 			return // baseline never measured this metric
 		}
-		floor := oldV * (1 - *maxDrop)
+		floor := oldV * (1 - drop)
 		if newV < floor {
-			fmt.Printf("FAIL %-24s %-22s %.3f -> %.3f (floor %.3f, -%.1f%%)\n",
+			fmt.Printf("FAIL %-24s %-30s %.3f -> %.3f (floor %.3f, -%.1f%%)\n",
 				key, metric, oldV, newV, floor, (1-newV/oldV)*100)
 			failed = true
 			return
 		}
-		fmt.Printf("ok   %-24s %-22s %.3f -> %.3f\n", key, metric, oldV, newV)
+		fmt.Printf("ok   %-24s %-30s %.3f -> %.3f\n", key, metric, oldV, newV)
+	}
+	check := func(key, metric string, oldV, newV float64) {
+		checkDrop(key, metric, oldV, newV, *maxDrop)
 	}
 	for _, o := range oldSnap.KernelSweep {
 		key := o.Kernel + "/" + o.Traffic
@@ -118,6 +149,75 @@ func main() {
 		if *abs {
 			check(key, "filter_gbps", o.FilterGbps, n.FilterGbps)
 			check(key, "scan_gbps", o.ScanGbps, n.ScanGbps)
+		}
+	}
+	// Batch-sweep gate: batch-over-serial scan speedup per packet size.
+	// Snapshots from before the section existed have no rows — skip.
+	if len(oldSnap.BatchSweep) > 0 {
+		newBatch := map[string]batchRow{}
+		for _, r := range newSnap.BatchSweep {
+			newBatch[r.Label] = r
+		}
+		for _, o := range oldSnap.BatchSweep {
+			key := "batch/" + o.Label
+			n, ok := newBatch[o.Label]
+			if !ok {
+				fmt.Printf("skip %-24s packet size not in new snapshot\n", key)
+				continue
+			}
+			check(key, "batch_speedup_vs_serial", o.Speedup, n.Speedup)
+			if *abs {
+				check(key, "serial_gbps", o.SerialGbps, n.SerialGbps)
+				check(key, "batch_gbps", o.BatchGbps, n.BatchGbps)
+			}
+		}
+	} else {
+		fmt.Println("skip batch_sweep: baseline snapshot has no section")
+	}
+
+	// Ingest-sweep gate: batched-over-per-segment dispatch speedup per
+	// segment size, under its own (looser) tolerance.
+	if len(oldSnap.IngestSweep) > 0 {
+		newIngest := map[string]ingestRow{}
+		for _, r := range newSnap.IngestSweep {
+			newIngest[r.Label] = r
+		}
+		for _, o := range oldSnap.IngestSweep {
+			key := "ingest/" + o.Label
+			n, ok := newIngest[o.Label]
+			if !ok {
+				fmt.Printf("skip %-24s segment size not in new snapshot\n", key)
+				continue
+			}
+			checkDrop(key, "batched_speedup_vs_per_segment", o.BatchedSpeedup, n.BatchedSpeedup, *ingestMaxDrop)
+			if *abs {
+				checkDrop(key, "per_segment_segs_per_sec", o.PerSegmentSegsSec, n.PerSegmentSegsSec, *ingestMaxDrop)
+				checkDrop(key, "batched_segs_per_sec", o.BatchedSegsSec, n.BatchedSegsSec, *ingestMaxDrop)
+			}
+		}
+	} else {
+		fmt.Println("skip ingest_sweep: baseline snapshot has no section")
+	}
+
+	if *minIngest64 > 0 {
+		key := "ingest/64"
+		var n *ingestRow
+		for i := range newSnap.IngestSweep {
+			if newSnap.IngestSweep[i].Label == "64" {
+				n = &newSnap.IngestSweep[i]
+				break
+			}
+		}
+		switch {
+		case n == nil:
+			fmt.Printf("skip %-24s new snapshot has no 64-byte ingest row (floor %.2f not applicable)\n", key, *minIngest64)
+		case n.BatchedSpeedup < *minIngest64:
+			fmt.Printf("FAIL %-24s %-30s %.3f below floor %.2f\n",
+				key, "batched_speedup_vs_per_segment", n.BatchedSpeedup, *minIngest64)
+			failed = true
+		default:
+			fmt.Printf("ok   %-24s %-30s %.3f >= floor %.2f\n",
+				key, "batched_speedup_vs_per_segment", n.BatchedSpeedup, *minIngest64)
 		}
 	}
 	if *minAVX2 > 0 {

@@ -153,20 +153,28 @@ func main() {
 	start := time.Now()
 	if *shards > 1 {
 		d := engine.NewDispatcher(*shards, limits, emit)
+		// ReadPcap gives every segment its own payload buffer that stays
+		// valid for the run, so the dispatcher may take them by reference
+		// instead of defensively copying into arena chunks.
+		d.SetZeroCopy(true)
 		var perShard []*vpatch.Counters
 		if *showMetrics {
 			perShard = d.InstrumentCounters()
 		}
-		for _, s := range segs {
+		// Batched handoff: slab-sized chunks amortize the per-segment
+		// channel operations, checking for signals at chunk boundaries.
+		for lo := 0; lo < len(segs) && gotSig == nil; lo += ids.DefaultDispatchBatch {
 			select {
 			case gotSig = <-sigc:
+				continue
 			default:
 			}
-			if gotSig != nil {
-				break
+			hi := lo + ids.DefaultDispatchBatch
+			if hi > len(segs) {
+				hi = len(segs)
 			}
-			d.Handle(s)
-			fed++
+			d.HandleBatch(segs[lo:hi])
+			fed += hi - lo
 		}
 		stats = d.Close() // drains workers, flushes every shard, merges stats
 		for _, c := range perShard {

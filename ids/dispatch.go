@@ -6,45 +6,92 @@ package ids
 // scan state is strictly per-shard, so workers never contend on
 // anything but the compiled rule groups (immutable) and the caller's
 // alert sink.
+//
+// Handoff is batched: the capture loop accumulates per-shard
+// []netsim.Segment slabs (flushed on a size watermark or a linger
+// deadline) and workers receive whole slabs, so channel operations —
+// the dominant per-segment cost at small-packet rates — are paid once
+// per ~DefaultDispatchBatch segments instead of once per segment.
+// Slabs are recycled through a bounded pool, and segment payloads ride
+// refcounted arena chunks (see internal/arena), so the steady-state
+// ingest path allocates nothing.
 
 import (
 	"sync"
+	"time"
 
 	"vpatch"
+	"vpatch/internal/arena"
 	"vpatch/internal/metrics"
 	"vpatch/internal/netsim"
 )
 
 // Dispatcher fans captured segments out to N worker shards by flow-key
-// hash. Handle is single-goroutine (the capture loop); the shards run
-// concurrently. Close drains the workers and merges their stats.
+// hash. HandleBatch is the fast path (amortized channel sends); Handle
+// wraps one segment. Close drains the workers and merges their stats.
 type Dispatcher struct {
 	shards []*Shard
-	chans  []chan netsim.Segment
+	chans  []chan []netsim.Segment
 	flush  []chan chan struct{}
 	wg     sync.WaitGroup
 	obs    *PipelineObserver
 
-	// mu guards the control plane (FlushAll vs Close); closeOnce makes
-	// Close safe from any goroutine, any number of times — the
-	// ownership handoff a hot-swapping service needs when the last
-	// releaser of an old engine generation, whoever that is, retires
-	// its dispatcher.
+	// arena backs defensive payload copies and the shard reassemblers;
+	// zeroCopy disables the defensive copy for callers whose payload
+	// buffers are stable (see SetZeroCopy).
+	arena    *arena.Arena
+	zeroCopy bool
+
+	batchSegs int           // slab capacity: the size watermark
+	linger    time.Duration // max time a segment waits in an accumulator
+
+	// Recycled slab pool: slabCount never exceeds slabMax, so once the
+	// pool is warm takeSlab never allocates — and a capture loop that
+	// outruns the workers blocks on slab reuse (bounded memory) rather
+	// than growing the heap.
+	slabMu    sync.Mutex
+	slabs     chan []netsim.Segment
+	slabCount int
+	slabMax   int
+
+	// mu guards the per-shard accumulators and the control plane
+	// (FlushAll vs Close); closeOnce makes Close safe from any
+	// goroutine, any number of times — the ownership handoff a
+	// hot-swapping service needs when the last releaser of an old
+	// engine generation, whoever that is, retires its dispatcher.
 	mu        sync.Mutex
+	acc       [][]netsim.Segment // per-shard pending slabs (HandleBatch)
+	accSegs   int                // total segments across acc
+	timerOn   bool
+	timer     *time.Timer
 	closed    bool
 	closeOnce sync.Once
 }
 
-// dispatchQueueLen is each worker's segment-channel buffer: deep enough
-// to ride out transient skew toward one shard without stalling the
-// capture loop, small enough to bound in-flight segment references.
-const dispatchQueueLen = 256
+const (
+	// dispatchQueueBatches is each worker's slab-channel buffer: deep
+	// enough to ride out transient skew toward one shard without
+	// stalling the capture loop, small enough to bound in-flight
+	// segment references.
+	dispatchQueueBatches = 64
+
+	// DefaultDispatchBatch is the slab size watermark: a shard's
+	// accumulator is handed to its worker once it holds this many
+	// segments (or the linger deadline fires).
+	DefaultDispatchBatch = 64
+
+	// DefaultDispatchLinger bounds how long a segment may sit in an
+	// accumulator at low rate before being flushed to its worker.
+	DefaultDispatchLinger = 2 * time.Millisecond
+)
 
 // NewDispatcher starts n worker shards (each with limits armed) fed by
 // flow-key hash partitioning, delivering alerts to emit. emit is called
 // concurrently from the n worker goroutines and must be safe for
 // concurrent use; alerts of one flow always come from one worker, in
-// stream order. Close must be called to drain and stop the workers.
+// stream order. Shard reassemblers recycle their buffers through the
+// shared arena (override with SetArena). Close must be called to drain
+// and stop the workers.
 func (e *Engine) NewDispatcher(n int, limits netsim.Limits, emit func(Alert)) *Dispatcher {
 	if n < 1 {
 		n = 1
@@ -53,14 +100,21 @@ func (e *Engine) NewDispatcher(n int, limits netsim.Limits, emit func(Alert)) *D
 		panic("ids: nil alert sink")
 	}
 	d := &Dispatcher{
-		shards: make([]*Shard, n),
-		chans:  make([]chan netsim.Segment, n),
-		flush:  make([]chan chan struct{}, n),
+		shards:    make([]*Shard, n),
+		chans:     make([]chan []netsim.Segment, n),
+		flush:     make([]chan chan struct{}, n),
+		arena:     arena.Shared(),
+		batchSegs: DefaultDispatchBatch,
+		linger:    DefaultDispatchLinger,
+		acc:       make([][]netsim.Segment, n),
 	}
+	d.slabMax = n*(dispatchQueueBatches+2) + 16
+	d.slabs = make(chan []netsim.Segment, d.slabMax)
 	for i := 0; i < n; i++ {
 		sh := e.NewShard(emit)
 		sh.SetLimits(limits)
-		ch := make(chan netsim.Segment, dispatchQueueLen)
+		sh.SetArena(d.arena)
+		ch := make(chan []netsim.Segment, dispatchQueueBatches)
 		fch := make(chan chan struct{})
 		d.shards[i] = sh
 		d.chans[i] = ch
@@ -68,28 +122,35 @@ func (e *Engine) NewDispatcher(n int, limits netsim.Limits, emit func(Alert)) *D
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
+			handle := func(bt []netsim.Segment) {
+				for j := range bt {
+					sh.HandleSegment(bt[j])
+					bt[j] = netsim.Segment{}
+				}
+				d.putSlab(bt[:0])
+			}
 			for {
 				select {
-				case seg, ok := <-ch:
+				case bt, ok := <-ch:
 					if !ok {
 						sh.Flush()
 						return
 					}
-					sh.HandleSegment(seg)
+					handle(bt)
 				case ack := <-fch:
-					// Drain segments already queued before flushing:
+					// Drain slabs already queued before flushing:
 					// select picks randomly among ready channels, so
 					// without this a flush request could overtake
 					// segments sent before it and miss their alerts.
 					for drained := false; !drained; {
 						select {
-						case seg, ok := <-ch:
+						case bt, ok := <-ch:
 							if !ok {
 								sh.Flush()
 								close(ack)
 								return
 							}
-							sh.HandleSegment(seg)
+							handle(bt)
 						default:
 							drained = true
 						}
@@ -103,22 +164,167 @@ func (e *Engine) NewDispatcher(n int, limits netsim.Limits, emit func(Alert)) *D
 	return d
 }
 
+// SetArena replaces the arena backing defensive copies and the shard
+// reassemblers. Must be called before the first Handle/HandleBatch.
+func (d *Dispatcher) SetArena(a *arena.Arena) {
+	d.arena = a
+	for _, sh := range d.shards {
+		sh.SetArena(a)
+	}
+}
+
+// SetZeroCopy disables the defensive copy of unowned payloads. Only
+// callers whose payload buffers remain valid and unmodified until the
+// pipeline has consumed them (e.g. a replay loop over per-segment
+// buffers, like netsim.ReadPcap's) should enable it; a capture loop
+// that recycles read buffers must leave it off or rent arena chunks
+// itself. Must be called before the first Handle/HandleBatch.
+func (d *Dispatcher) SetZeroCopy(v bool) { d.zeroCopy = v }
+
+// SetBatching tunes the slab size watermark and the linger deadline
+// (the latency bound for segments waiting in accumulators at low
+// rate). Zero keeps the current value. Must be called before the first
+// Handle/HandleBatch.
+func (d *Dispatcher) SetBatching(segs int, linger time.Duration) {
+	if segs > 0 {
+		d.batchSegs = segs
+	}
+	if linger > 0 {
+		d.linger = linger
+	}
+}
+
+// adopt makes seg safe to enqueue: payloads the caller still owns are
+// copied into an arena chunk (so later reuse of the caller's buffer
+// cannot corrupt queued segments), unless the caller opted into
+// zero-copy or the segment already owns its chunk.
+func (d *Dispatcher) adopt(seg netsim.Segment) netsim.Segment {
+	if seg.Owned() || d.zeroCopy || len(seg.Payload) == 0 {
+		return seg
+	}
+	b := d.arena.Rent(len(seg.Payload))
+	data := b.Data()[:len(seg.Payload)]
+	copy(data, seg.Payload)
+	seg.Payload = data
+	seg.SetOwned(b)
+	return seg
+}
+
+// takeSlab rents an empty slab from the recycled pool, allocating only
+// while the pool is below its cap; at the cap it blocks until a worker
+// returns one — backpressure instead of heap growth.
+func (d *Dispatcher) takeSlab() []netsim.Segment {
+	select {
+	case s := <-d.slabs:
+		return s
+	default:
+	}
+	d.slabMu.Lock()
+	if d.slabCount < d.slabMax {
+		d.slabCount++
+		d.slabMu.Unlock()
+		return make([]netsim.Segment, 0, d.batchSegs)
+	}
+	d.slabMu.Unlock()
+	return <-d.slabs
+}
+
+func (d *Dispatcher) putSlab(s []netsim.Segment) {
+	select {
+	case d.slabs <- s:
+	default: // pool full (foreign slab): drop for the GC
+	}
+}
+
 // Handle routes one captured segment to its flow's shard. Segments of
 // one flow always land on the same shard, so per-flow stream order is
 // preserved. Unlike Engine.HandleSegment, Handle may be called from
-// multiple goroutines (it is one channel send); per-flow ordering then
+// multiple goroutines (it is one slab send); per-flow ordering then
 // holds per sender, which is what a request-scoped ingest needs.
 //
-// The segment's payload is enqueued by reference: the capture loop must
-// not reuse the payload buffer until Close returns. (Replay loops that
-// do reuse buffers should copy before Handle; netsim.ReadPcap returns
-// per-segment buffers, so the pcap path needs no copy.)
+// Unowned payloads are defensively copied into an arena chunk before
+// enqueueing, so callers may reuse their read buffer between calls;
+// arena-owned segments (Segment.SetOwned) and zero-copy dispatchers
+// (SetZeroCopy) transfer the payload by reference. Do not mix Handle
+// and HandleBatch for segments of the same flow: batched segments may
+// still be lingering in an accumulator when Handle bypasses it.
 func (d *Dispatcher) Handle(seg netsim.Segment) {
-	d.chans[seg.Flow.Hash()%uint32(len(d.chans))] <- seg
+	seg = d.adopt(seg)
+	slab := append(d.takeSlab(), seg)
+	d.chans[seg.Flow.Hash()%uint32(len(d.chans))] <- slab
+}
+
+// HandleBatch routes a batch of captured segments — the fast path for
+// capture loops. Segments accumulate in per-shard slabs handed to the
+// workers when full (SetBatching's size watermark) or when the linger
+// deadline fires, so per-segment channel operations amortize away
+// while low-rate latency stays bounded. Ownership of owned payloads
+// transfers to the pipeline; unowned payloads are defensively copied
+// (see Handle). Safe for concurrent use; segments of one flow keep
+// their per-sender order relative to other HandleBatch/FlushAll calls.
+func (d *Dispatcher) HandleBatch(segs []netsim.Segment) {
+	if len(segs) == 0 {
+		return
+	}
+	n := uint32(len(d.chans))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, seg := range segs {
+		seg = d.adopt(seg)
+		i := seg.Flow.Hash() % n
+		slab := d.acc[i]
+		if slab == nil {
+			slab = d.takeSlab()
+		}
+		slab = append(slab, seg)
+		if len(slab) >= d.batchSegs {
+			d.acc[i] = nil
+			d.accSegs -= len(slab) - 1
+			d.chans[i] <- slab
+			continue
+		}
+		d.acc[i] = slab
+		d.accSegs++
+	}
+	if d.accSegs > 0 && !d.timerOn {
+		d.timerOn = true
+		if d.timer == nil {
+			d.timer = time.AfterFunc(d.linger, d.lingerFlush)
+		} else {
+			d.timer.Reset(d.linger)
+		}
+	}
+}
+
+// lingerFlush is the timer path: segments waiting in accumulators are
+// handed to their workers once the linger deadline passes.
+func (d *Dispatcher) lingerFlush() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.timerOn = false
+	if d.closed {
+		return
+	}
+	d.flushAccLocked()
+}
+
+// flushAccLocked hands every non-empty accumulator slab to its worker.
+// Caller holds d.mu.
+func (d *Dispatcher) flushAccLocked() {
+	for i, slab := range d.acc {
+		if len(slab) > 0 {
+			d.acc[i] = nil
+			d.accSegs -= len(slab)
+			d.chans[i] <- slab
+		}
+	}
 }
 
 // Shards returns the number of worker shards.
 func (d *Dispatcher) Shards() int { return len(d.shards) }
+
+// Arena returns the arena backing the dispatcher's ingest path.
+func (d *Dispatcher) Arena() *arena.Arena { return d.arena }
 
 // InstrumentCounters attaches a fresh scan-counter set to every worker
 // shard and returns them, index-aligned with the shards. It must be
@@ -187,17 +393,19 @@ func (o *PipelineObserver) FlowStats() netsim.Stats {
 	return st
 }
 
-// FlushAll makes every worker scan its pending batches now and waits
-// until all have done so — the latency-deadline lever of a resident
-// pipeline (alerts otherwise wait for a watermark). Safe to call
-// concurrently with Handle (from any goroutine) and with Close; after
-// Close it is a no-op.
+// FlushAll hands lingering accumulator slabs to the workers, makes
+// every worker scan its pending batches now, and waits until all have
+// done so — the latency-deadline lever of a resident pipeline (alerts
+// otherwise wait for a watermark). Safe to call concurrently with
+// Handle/HandleBatch (from any goroutine) and with Close; after Close
+// it is a no-op.
 func (d *Dispatcher) FlushAll() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return
 	}
+	d.flushAccLocked()
 	acks := make([]chan struct{}, len(d.flush))
 	for i, fch := range d.flush {
 		ack := make(chan struct{})
@@ -209,14 +417,19 @@ func (d *Dispatcher) FlushAll() {
 	}
 }
 
-// Close drains every worker (flushing partial batches, so all pending
-// alerts surface), stops the goroutines, and returns the per-shard
-// lifecycle stats merged. Close is safe to call from any goroutine and
-// any number of times (every call waits for the drain and returns the
-// same merged stats); Handle must not be called after it.
+// Close drains every worker (flushing lingering accumulators and
+// partial batches, so all pending alerts surface), stops the
+// goroutines, and returns the per-shard lifecycle stats merged. Close
+// is safe to call from any goroutine and any number of times (every
+// call waits for the drain and returns the same merged stats);
+// Handle/HandleBatch must not be called after it.
 func (d *Dispatcher) Close() netsim.Stats {
 	d.closeOnce.Do(func() {
 		d.mu.Lock()
+		if d.timer != nil {
+			d.timer.Stop()
+		}
+		d.flushAccLocked()
 		d.closed = true
 		for _, ch := range d.chans {
 			close(ch)

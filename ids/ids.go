@@ -48,6 +48,7 @@ import (
 	"fmt"
 
 	"vpatch"
+	"vpatch/internal/arena"
 	"vpatch/internal/metrics"
 	"vpatch/internal/netsim"
 	"vpatch/internal/patterns"
@@ -157,6 +158,10 @@ type groupBatch struct {
 	meta  []batchEntry
 	bytes int
 	free  [][]byte
+	// onMatch is the batch's ScanBatch callback, built once — a fresh
+	// closure per flush would put one heap allocation on the
+	// steady-state ingest path.
+	onMatch func(buf int, m vpatch.Match)
 }
 
 // takeBuf returns an empty buffer for a job of about n bytes,
@@ -269,6 +274,12 @@ func (e *Engine) NewShard(emit func(Alert)) *Shard {
 // value means unlimited — the polite-traffic mode; production shards
 // facing real capture should always set limits.
 func (s *Shard) SetLimits(l netsim.Limits) { s.reasm.SetLimits(l) }
+
+// SetArena rebases the shard's reassembly buffer recycling onto an
+// arena pool (dispatcher-created shards get the dispatcher's arena
+// automatically). Follows the shard's single-goroutine rule: set
+// before the shard starts handling segments.
+func (s *Shard) SetArena(a *arena.Arena) { s.reasm.SetArena(a.NewLocal()) }
 
 // Stats reports the shard's flow-lifecycle counters: tracked/peak
 // flows, teardowns, evictions, dropped bytes and pending out-of-order
@@ -445,9 +456,13 @@ func (e *Engine) SetCounters(c *vpatch.Counters) { e.def.SetCounters(c) }
 func (e *Engine) Stats() netsim.Stats { return e.def.Stats() }
 
 // HandleSegment feeds one captured segment through reassembly and
-// matching. Segments may arrive reordered or duplicated.
+// matching. Segments may arrive reordered or duplicated. Handing a
+// segment to the pipeline transfers payload ownership: arena-owned
+// payloads (Segment.SetOwned) are released — and their chunks recycled
+// — once reassembly has absorbed the bytes.
 func (s *Shard) HandleSegment(seg netsim.Segment) {
 	s.reasm.Add(seg)
+	seg.ReleasePayload()
 	if s.obsFlow != nil {
 		if s.segsSinceObs++; s.segsSinceObs >= obsPublishEvery {
 			s.segsSinceObs = 0
@@ -530,20 +545,23 @@ func (s *Shard) flushGroup(g *group, pb *groupBatch) {
 	if s.obsScan != nil {
 		c = &s.obsScratch
 	}
-	set := g.eng.Set()
-	s.session(g).ScanBatch(pb.bufs, c, func(buf int, m vpatch.Match) {
-		ent := &pb.meta[buf]
-		// Matches ending inside the carry prefix were reported by the
-		// batch that scanned those stream bytes first.
-		if int(m.Pos)+set.Pattern(m.PatternID).Len() <= ent.carryLen {
-			return
+	if pb.onMatch == nil {
+		set := g.eng.Set()
+		pb.onMatch = func(buf int, m vpatch.Match) {
+			ent := &pb.meta[buf]
+			// Matches ending inside the carry prefix were reported by
+			// the batch that scanned those stream bytes first.
+			if int(m.Pos)+set.Pattern(m.PatternID).Len() <= ent.carryLen {
+				return
+			}
+			s.emit(Alert{
+				Flow:         ent.fs.key,
+				StreamOffset: ent.base + int64(m.Pos),
+				PatternID:    g.origID[m.PatternID],
+			})
 		}
-		s.emit(Alert{
-			Flow:         ent.fs.key,
-			StreamOffset: ent.base + int64(m.Pos),
-			PatternID:    g.origID[m.PatternID],
-		})
-	})
+	}
+	s.session(g).ScanBatch(pb.bufs, c, pb.onMatch)
 	pb.free = append(pb.free, pb.bufs...)
 	pb.bufs = pb.bufs[:0]
 	pb.meta = pb.meta[:0]

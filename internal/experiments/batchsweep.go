@@ -27,21 +27,21 @@ import (
 type BatchSweepRow struct {
 	// Label names the row ("64", "IMIX", ...); PacketBytes is the fixed
 	// packet size, or 0 for the IMIX mix.
-	Label       string
-	PacketBytes int
-	Packets     int
-	Batch       int // buffers per ScanBatch call
+	Label       string `json:"label"`
+	PacketBytes int    `json:"packet_bytes"`
+	Packets     int    `json:"packets"`
+	Batch       int    `json:"batch"` // buffers per ScanBatch call
 
-	SerialGbps float64
-	BatchGbps  float64
-	Speedup    float64 // batch over serial, wall-clock
+	SerialGbps float64 `json:"serial_gbps"`
+	BatchGbps  float64 `json:"batch_gbps"`
+	Speedup    float64 `json:"speedup"` // batch over serial, wall-clock
 
 	// SerialVectorCoverage is VectorIters*W/BytesScanned of the serial
 	// per-packet scans: the fraction of positions the serial filtering
 	// round handles in full vector blocks rather than scalar tail.
-	SerialVectorCoverage float64
+	SerialVectorCoverage float64 `json:"serial_vector_coverage"`
 	// BatchLaneOccupancy is Counters.BatchLaneFrac of the batched scan.
-	BatchLaneOccupancy float64
+	BatchLaneOccupancy float64 `json:"batch_lane_occupancy"`
 }
 
 // BatchSweep measures serial vs batched V-PATCH over packets of each

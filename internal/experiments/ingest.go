@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"vpatch"
+	"vpatch/ids"
+	"vpatch/internal/arena"
+	"vpatch/internal/metrics"
+	"vpatch/internal/netsim"
+	"vpatch/internal/patterns"
+	"vpatch/internal/traffic"
+)
+
+// The ingest sweep: end-to-end dispatcher throughput of the recycled
+// capture path, per-segment channel sends versus batched slab handoff,
+// across segment sizes. Unlike the scan-level sweeps this measures the
+// full pipeline — arena rent, ownership transfer, shard handoff,
+// reassembly, scan — the way a capture loop drives it, so the number
+// it reports is segments per second at the dispatcher boundary. At
+// 64-byte segments the per-segment path is dominated by channel
+// operations; the batched path pays them once per slab.
+
+// IngestSweepRow is one segment size of the sweep.
+type IngestSweepRow struct {
+	// Label names the row ("64", "IMIX", ...); PacketBytes is the fixed
+	// payload size, or 0 for the IMIX mix.
+	Label       string `json:"label"`
+	PacketBytes int    `json:"packet_bytes"`
+	Segments    int    `json:"segments"`
+	Shards      int    `json:"shards"`
+	Batch       int    `json:"batch"` // segments per HandleBatch call
+
+	PerSegmentSegsPerSec float64 `json:"per_segment_segs_per_sec"`
+	BatchedSegsPerSec    float64 `json:"batched_segs_per_sec"`
+	PerSegmentGbps       float64 `json:"per_segment_gbps"`
+	BatchedGbps          float64 `json:"batched_gbps"`
+	// BatchedSpeedup is batched over per-segment, wall-clock (the ratio
+	// the bench-regression gate pins).
+	BatchedSpeedup float64 `json:"batched_speedup_vs_per_segment"`
+}
+
+// ingestFlows is how many concurrent flows the simulated capture loop
+// round-robins across — enough that shard fan-out and flow-table
+// pressure are realistic, small enough that every flow stays resident.
+const ingestFlows = 256
+
+// IngestSweep measures per-segment vs batched dispatch over segments of
+// each given payload size (size 0 = the SimpleIMIX mix) through an
+// n-shard pipeline (shards 0 = one per core). Each timed run simulates
+// a capture loop: rent an arena chunk, fill it with the next payload,
+// hand the owned segment to the dispatcher; Close (worker drain) is
+// inside the timed region so queue depth cannot flatter either mode.
+// Best of cfg.Repeats, over a shared arena so steady-state runs recycle
+// rather than allocate.
+func IngestSweep(cfg Config, set *patterns.Set, sizes []int, shards, batch int) []IngestSweepRow {
+	cfg = cfg.withDefaults()
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if batch <= 0 {
+		batch = ids.DefaultDispatchBatch
+	}
+	drop := func(ids.Alert) {}
+	eng, err := ids.NewEngine(set, vpatch.Options{}, drop)
+	if err != nil {
+		panic(err) // generated sets always compile
+	}
+	limits := netsim.Limits{MaxFlows: 4 * ingestFlows}
+
+	rows := make([]IngestSweepRow, 0, len(sizes))
+	for _, size := range sizes {
+		row := IngestSweepRow{PacketBytes: size, Shards: shards, Batch: batch}
+		var pkts [][]byte
+		if size == 0 {
+			row.Label = "IMIX"
+			n := cfg.TrafficBytes / int(traffic.MeanSize(traffic.SimpleIMIX))
+			pkts = traffic.Packets(traffic.ISCXDay2, traffic.SimpleIMIX, n, cfg.Seed, set)
+		} else {
+			row.Label = strconv.Itoa(size)
+			n := cfg.TrafficBytes / size
+			if n < batch {
+				n = batch
+			}
+			pkts = traffic.FixedPackets(traffic.ISCXDay2, size, n, cfg.Seed, set)
+		}
+		row.Segments = len(pkts)
+		total := uint64(0)
+		for _, p := range pkts {
+			total += uint64(len(p))
+		}
+
+		// One arena per row, shared across repeats and modes: the first
+		// run grows the chunk pool to the in-flight plateau, later runs
+		// recycle — the steady state the row reports.
+		a := arena.New(arena.Config{})
+		run := func(batched bool) time.Duration {
+			d := eng.NewDispatcher(shards, limits, drop)
+			d.SetArena(a)
+			seqs := make([]uint32, ingestFlows)
+			var slab []netsim.Segment
+			if batched {
+				slab = make([]netsim.Segment, 0, batch)
+			}
+			t0 := time.Now()
+			for i, p := range pkts {
+				f := i % ingestFlows
+				b := a.Rent(len(p))
+				data := b.Data()[:len(p)]
+				copy(data, p)
+				var seg netsim.Segment
+				seg.Flow = netsim.FlowKey{SrcIP: 0x0a000001 + uint32(f), DstIP: 0xc0a80001, SrcPort: 40000, DstPort: 80}
+				seg.Seq = seqs[f]
+				seg.Payload = data
+				seg.SetOwned(b)
+				seqs[f] += uint32(len(p))
+				if !batched {
+					d.Handle(seg)
+					continue
+				}
+				slab = append(slab, seg)
+				if len(slab) == cap(slab) {
+					d.HandleBatch(slab)
+					slab = slab[:0]
+				}
+			}
+			if len(slab) > 0 {
+				d.HandleBatch(slab)
+			}
+			d.Close()
+			return time.Since(t0)
+		}
+
+		for r := 0; r < cfg.Repeats; r++ {
+			if el := run(false); el > 0 {
+				if sps := float64(len(pkts)) / el.Seconds(); sps > row.PerSegmentSegsPerSec {
+					row.PerSegmentSegsPerSec = sps
+					row.PerSegmentGbps = metrics.Throughput(total, el.Nanoseconds())
+				}
+			}
+			if el := run(true); el > 0 {
+				if sps := float64(len(pkts)) / el.Seconds(); sps > row.BatchedSegsPerSec {
+					row.BatchedSegsPerSec = sps
+					row.BatchedGbps = metrics.Throughput(total, el.Nanoseconds())
+				}
+			}
+		}
+		if row.PerSegmentSegsPerSec > 0 {
+			row.BatchedSpeedup = row.BatchedSegsPerSec / row.PerSegmentSegsPerSec
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintIngestSweep renders the sweep as an aligned table.
+func PrintIngestSweep(w io.Writer, title string, rows []IngestSweepRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %8s %9s %7s %6s %14s %14s %10s %10s %9s\n",
+		"seg", "segments", "shards", "batch", "per-seg seg/s", "batched seg/s", "per Gbps", "bat Gbps", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %8s %9d %7d %6d %14.0f %14.0f %10.3f %10.3f %8.2fx\n",
+			r.Label, r.Segments, r.Shards, r.Batch,
+			r.PerSegmentSegsPerSec, r.BatchedSegsPerSec,
+			r.PerSegmentGbps, r.BatchedGbps, r.BatchedSpeedup)
+	}
+}
+
+// WriteIngestSweepCSV exports the sweep.
+func WriteIngestSweepCSV(dir, name string, rows []IngestSweepRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label, strconv.Itoa(r.Segments), strconv.Itoa(r.Shards), strconv.Itoa(r.Batch),
+			ftoa(r.PerSegmentSegsPerSec), ftoa(r.BatchedSegsPerSec),
+			ftoa(r.PerSegmentGbps), ftoa(r.BatchedGbps), ftoa(r.BatchedSpeedup),
+		})
+	}
+	return writeCSV(dir, name,
+		[]string{"segment", "segments", "shards", "batch",
+			"per_segment_segs_per_sec", "batched_segs_per_sec",
+			"per_segment_gbps", "batched_gbps", "batched_speedup"}, out)
+}

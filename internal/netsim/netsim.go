@@ -53,6 +53,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"vpatch/internal/arena"
 	"vpatch/internal/metrics"
 )
 
@@ -114,6 +115,39 @@ type Segment struct {
 	// Flags carries the TCP-style connection-lifecycle flags
 	// (FlagFIN, FlagRST).
 	Flags uint8
+
+	// own, when set, is the arena chunk backing Payload: the segment
+	// owns one reference and whoever consumes the payload releases it
+	// (see SetOwned/ReleasePayload). nil for plain heap payloads.
+	own *arena.Buf
+}
+
+// SetOwned marks Payload as backed by the arena chunk b, transferring
+// one reference into the segment. Downstream consumers (the dispatch
+// pipeline) release it once the payload has been absorbed, recycling
+// the chunk — the zero-copy capture→dispatcher→reassembler handoff.
+func (s *Segment) SetOwned(b *arena.Buf) { s.own = b }
+
+// Owned reports whether the segment carries an arena-backed payload
+// with a release hook, i.e. whether ownership (not just a view) of the
+// buffer transfers with the segment.
+func (s *Segment) Owned() bool { return s.own != nil }
+
+// OwnedBuf returns the arena chunk backing Payload, or nil.
+func (s *Segment) OwnedBuf() *arena.Buf { return s.own }
+
+// ReleasePayload drops the segment's payload reference: for owned
+// segments the arena chunk is released (and Payload nilled — the bytes
+// may be recycled immediately); for unowned segments it is a no-op.
+// Each owned segment must be released exactly once.
+func (s *Segment) ReleasePayload() {
+	if s.own == nil {
+		return
+	}
+	b := s.own
+	s.own = nil
+	s.Payload = nil
+	b.Release()
 }
 
 // PacketizeOptions controls stream segmentation.
@@ -380,10 +414,12 @@ func (s Stats) MergeInto(c *metrics.Counters) {
 	}
 }
 
-// pseg is one buffered out-of-order segment; data is reassembler-owned.
+// pseg is one buffered out-of-order segment; data is reassembler-owned
+// (an arena chunk when the reassembler has one, see SetArena).
 type pseg struct {
 	seq  uint32
 	data []byte
+	buf  *arena.Buf
 }
 
 // flowState is the per-flow reassembly state. States are linked into an
@@ -429,7 +465,8 @@ type Reassembler struct {
 
 	now          uint64 // capture clock: max timestamp seen
 	totalPending int
-	free         [][]byte // recycled pending buffers
+	free         [][]byte     // recycled pending buffers (legacy, arena unset)
+	arena        *arena.Local // when set, pending copies rent pooled chunks
 
 	peakFlows    int
 	flowsClosed  uint64
@@ -451,6 +488,12 @@ func NewReassembler(sink func(FlowKey, []byte)) *Reassembler {
 // SetLimits arms the reassembler's memory bounds. It may be called at
 // any time; tightened limits take effect on subsequent Adds.
 func (r *Reassembler) SetLimits(l Limits) { r.limits = l }
+
+// SetArena rebases the reassembler's out-of-order buffer recycling onto
+// an arena: pending copies rent pooled chunks (returned to the shared
+// pool on drain) instead of retaining private slabs. The Local must
+// belong to the reassembler's goroutine; call before the first Add.
+func (r *Reassembler) SetArena(l *arena.Local) { r.arena = l }
 
 // OnClose registers a hook called whenever a flow stops being tracked
 // while holding reassembly state: evicted reports true when the flow
@@ -572,8 +615,8 @@ func (r *Reassembler) buffer(st *flowState, seq uint32, payload []byte) {
 			r.bytesDropped += uint64(delta)
 			return
 		}
-		r.recycle(prev.data)
-		prev.data = r.copyBuf(payload)
+		r.recycle(prev.data, prev.buf)
+		prev.data, prev.buf = r.copyBuf(payload)
 		st.pendingBytes += delta
 		r.totalPending += delta
 		return
@@ -650,7 +693,8 @@ func (r *Reassembler) buffer(st *flowState, seq uint32, payload []byte) {
 	}
 	st.pending = append(st.pending, pseg{})
 	copy(st.pending[i+1:], st.pending[i:])
-	st.pending[i] = pseg{seq: seq, data: r.copyBuf(payload)}
+	data, buf := r.copyBuf(payload)
+	st.pending[i] = pseg{seq: seq, data: data, buf: buf}
 	st.pendingBytes += n
 	r.totalPending += n
 }
@@ -693,8 +737,8 @@ func (r *Reassembler) drain(st *flowState) {
 		}
 		st.pendingBytes -= len(p.data)
 		r.totalPending -= len(p.data)
-		r.recycle(p.data)
-		p.data = nil
+		r.recycle(p.data, p.buf)
+		p.data, p.buf = nil, nil
 		i++
 	}
 	if i > 0 {
@@ -709,7 +753,7 @@ func (r *Reassembler) dropPending(st *flowState, i int) {
 	st.pendingBytes -= len(p.data)
 	r.totalPending -= len(p.data)
 	r.bytesDropped += uint64(len(p.data))
-	r.recycle(p.data)
+	r.recycle(p.data, p.buf)
 	st.pending = append(st.pending[:i], st.pending[i+1:]...)
 }
 
@@ -751,7 +795,7 @@ func (r *Reassembler) freePending(st *flowState, countDropped bool) {
 			r.bytesDropped += uint64(len(p.data))
 		}
 		r.totalPending -= len(p.data)
-		r.recycle(p.data)
+		r.recycle(p.data, p.buf)
 	}
 	st.pending = nil
 	st.pendingBytes = 0
@@ -769,20 +813,37 @@ func (r *Reassembler) expireIdle() {
 	}
 }
 
-// copyBuf copies payload into reassembler-owned memory, recycling a
-// drained buffer when one is available.
-func (r *Reassembler) copyBuf(payload []byte) []byte {
+// copyBuf copies payload into reassembler-owned memory: an arena chunk
+// when SetArena was called (returned alongside the data for release on
+// drain), else a buffer from the legacy private free list.
+func (r *Reassembler) copyBuf(payload []byte) ([]byte, *arena.Buf) {
+	if r.arena != nil {
+		b := r.arena.Rent(len(payload))
+		data := b.Data()[:len(payload)]
+		copy(data, payload)
+		return data, b
+	}
 	var buf []byte
 	if k := len(r.free); k > 0 {
 		buf = r.free[k-1]
 		r.free = r.free[:k-1]
 	}
-	return append(buf[:0], payload...)
+	return append(buf[:0], payload...), nil
 }
 
-func (r *Reassembler) recycle(buf []byte) {
-	if buf != nil && len(r.free) < maxFreeBufs {
-		r.free = append(r.free, buf[:0])
+// recycle returns a pending buffer: arena chunks go back to the pool,
+// legacy buffers to the private free list.
+func (r *Reassembler) recycle(data []byte, b *arena.Buf) {
+	if b != nil {
+		if r.arena != nil {
+			r.arena.Release(b)
+		} else {
+			b.Release()
+		}
+		return
+	}
+	if data != nil && len(r.free) < maxFreeBufs {
+		r.free = append(r.free, data[:0])
 	}
 }
 

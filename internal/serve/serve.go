@@ -33,8 +33,13 @@ import (
 
 	"vpatch"
 	"vpatch/ids"
+	"vpatch/internal/arena"
 	"vpatch/internal/netsim"
 )
+
+// streamBatchSegs is the per-request dispatcher handoff batch for the
+// /v1/stream and raw-TCP ingest loops.
+const streamBatchSegs = 64
 
 // DefaultTenant is the tenant implied when requests carry no tenant
 // parameter.
@@ -60,6 +65,10 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	start time.Time
+
+	// arena backs ingest frame reads (stream + TCP) and, being the
+	// process-wide shared pool, the tenants' dispatcher pipelines.
+	arena *arena.Arena
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -100,6 +109,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		start:     time.Now(),
+		arena:     arena.Shared(),
 		tenants:   make(map[string]*Tenant),
 		httpStats: make(map[string]*handlerStats, len(handlerNames)),
 	}
@@ -451,8 +461,19 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer g.release()
 	resp := streamResponse{Tenant: t.name, Generation: g.gen}
+	// Frames land in recycled arena chunks and are handed to the
+	// dispatcher in batches — the zero-alloc ingest path. Lingering
+	// batch remainders are flushed before any return.
+	batch := make([]netsim.Segment, 0, streamBatchSegs)
+	flushBatch := func() {
+		if len(batch) > 0 {
+			g.disp.HandleBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	defer flushBatch()
 	for {
-		seg, err := ReadSegment(r.Body)
+		seg, err := ReadSegmentArena(r.Body, s.arena)
 		if err == io.EOF {
 			break
 		}
@@ -461,14 +482,19 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if !charged && !t.takeQuota(4+segFixedLen+len(seg.Payload)) {
+			seg.ReleasePayload()
 			writeErr(w, http.StatusTooManyRequests, "tenant byte quota exhausted")
 			return
 		}
-		g.disp.Handle(seg)
 		resp.Segments++
 		resp.Bytes += len(seg.Payload)
+		batch = append(batch, seg)
+		if len(batch) == cap(batch) {
+			flushBatch()
+		}
 	}
 	if r.URL.Query().Get("flush") == "1" {
+		flushBatch()
 		g.disp.FlushAll()
 	}
 	resp.AlertsTotal = t.alerts.Load()
@@ -677,6 +703,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, r := range rows {
 		promSample(&b, "vpatch_rules_age_seconds", tenantLabel(r.name), gens[i].age)
 	}
+
+	// Arena (recycled ingest-buffer pool) gauges — process-wide, the
+	// pool is shared by every tenant's ingest path.
+	ast := s.arena.Stats()
+	promFamily(&b, "vpatch_arena_chunks_in_use", "gauge", "Arena chunks rented and not yet released.")
+	promSample(&b, "vpatch_arena_chunks_in_use", "", float64(ast.InUse))
+	promFamily(&b, "vpatch_arena_chunks_peak", "gauge", "High-water mark of simultaneously rented arena chunks.")
+	promSample(&b, "vpatch_arena_chunks_peak", "", float64(ast.Peak))
+	promFamily(&b, "vpatch_arena_pooled_bytes", "gauge", "Bytes of pooled arena chunks allocated under the cap.")
+	promSample(&b, "vpatch_arena_pooled_bytes", "", float64(ast.PooledBytes))
+	promFamily(&b, "vpatch_arena_overflow_total", "counter", "Arena rents served by one-shot heap allocations (pool cap exceeded).")
+	promSample(&b, "vpatch_arena_overflow_total", "", float64(ast.Overflows))
 
 	// Process-level state.
 	promFamily(&b, "vpatch_draining", "gauge", "1 while the daemon is draining.")

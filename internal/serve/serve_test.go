@@ -258,6 +258,14 @@ func TestHTTPLifecycle(t *testing.T) {
 	if !strings.Contains(string(body), `vpatch_alerts_total{tenant="default"} 1`) {
 		t.Fatalf("metrics missing default tenant alert count:\n%s", body)
 	}
+	for _, fam := range []string{
+		"vpatch_arena_chunks_in_use", "vpatch_arena_chunks_peak",
+		"vpatch_arena_pooled_bytes", "vpatch_arena_overflow_total",
+	} {
+		if !strings.Contains(string(body), fam) {
+			t.Fatalf("metrics missing arena gauge %s:\n%s", fam, body)
+		}
+	}
 
 	// Delete drains the named tenant.
 	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/tenants/acme", nil)

@@ -15,6 +15,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"vpatch/internal/netsim"
 )
 
 const (
@@ -26,7 +28,10 @@ const (
 	ingestPollInterval = 500 * time.Millisecond
 	// ingestFrameTimeout kills a connection that stalls mid-frame.
 	ingestFrameTimeout = 30 * time.Second
-	maxHelloLen        = 256
+	// ingestBatchLinger is how long a non-empty dispatch batch may wait
+	// for the next frame before being handed to the workers.
+	ingestBatchLinger = 5 * time.Millisecond
+	maxHelloLen       = 256
 )
 
 // ServeIngest accepts raw-TCP ingest connections on l until the
@@ -143,12 +148,29 @@ func (s *Server) serveIngestConn(conn net.Conn) {
 			g.release()
 		}
 	}()
+	// Frames land in recycled arena chunks and reach the pinned
+	// generation's dispatcher in batches. The batch always belongs to
+	// the current g, so it is flushed before any release/migration —
+	// and on every exit path (the defer below runs before g's release).
+	batch := make([]netsim.Segment, 0, streamBatchSegs)
+	flushBatch := func() {
+		if len(batch) > 0 && g != nil {
+			g.disp.HandleBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	defer flushBatch()
 	frames := 0
 	for {
 		// Wait for the next frame's first byte with a short deadline so
-		// idle connections notice drains and hot swaps promptly.
+		// idle connections notice drains and hot swaps promptly. A
+		// non-empty batch only waits the linger bound.
 		for {
-			err := bc.waitByte(ingestPollInterval)
+			wait := ingestPollInterval
+			if len(batch) > 0 {
+				wait = ingestBatchLinger
+			}
+			err := bc.waitByte(wait)
 			if err == nil {
 				break
 			}
@@ -156,10 +178,12 @@ func (s *Server) serveIngestConn(conn net.Conn) {
 				if err == io.EOF && g != nil {
 					// The feed ended cleanly: flush now so its buffered
 					// alerts surface without waiting for watermarks.
+					flushBatch()
 					g.disp.FlushAll()
 				}
 				return
 			}
+			flushBatch() // idle: hand lingering segments to the workers
 			if s.draining.Load() {
 				return
 			}
@@ -170,24 +194,30 @@ func (s *Server) serveIngestConn(conn net.Conn) {
 		}
 		// A frame has begun: bound its completion, then read it whole.
 		conn.SetReadDeadline(time.Now().Add(ingestFrameTimeout))
-		seg, err := ReadSegment(bc)
+		seg, err := ReadSegmentArena(bc, s.arena)
 		conn.SetReadDeadline(time.Time{})
 		if err != nil {
 			return
 		}
 		if !t.takeQuota(4 + segFixedLen + len(seg.Payload)) {
+			seg.ReleasePayload()
 			continue // over quota: count the rejection, drop the frame
 		}
 		if g != nil && (frames%ingestReacquireEvery == 0 || t.cur.Load() != g) {
+			flushBatch()
 			g.release()
 			g = nil
 		}
 		if g == nil {
 			if g = t.acquire(); g == nil {
+				seg.ReleasePayload()
 				return // no rules loaded (or tenant shut down)
 			}
 		}
-		g.disp.Handle(seg)
+		batch = append(batch, seg)
+		if len(batch) == cap(batch) {
+			flushBatch()
+		}
 		frames++
 	}
 }

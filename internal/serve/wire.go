@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 
+	"vpatch/internal/arena"
 	"vpatch/internal/netsim"
 )
 
@@ -85,6 +86,45 @@ func ReadSegment(r io.Reader) (netsim.Segment, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return netsim.Segment{}, fmt.Errorf("serve: frame body: %w", err)
 	}
+	return parseFrame(buf), nil
+}
+
+// ReadSegmentArena reads one frame like ReadSegment, but the frame
+// lands in a chunk rented from a: the returned segment owns the chunk
+// (Segment.Owned) and whoever consumes it releases it back to the
+// pool, so a resident ingest loop reads frames without allocating.
+// Callers that drop a segment without dispatching it must call
+// ReleasePayload themselves.
+func ReadSegmentArena(r io.Reader, a *arena.Arena) (netsim.Segment, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.EOF {
+			return netsim.Segment{}, io.EOF
+		}
+		return netsim.Segment{}, fmt.Errorf("serve: frame length: %w", err)
+	}
+	frameLen := binary.BigEndian.Uint32(pre[:])
+	if frameLen < segFixedLen {
+		return netsim.Segment{}, fmt.Errorf("serve: frame of %d bytes is shorter than the %d-byte header", frameLen, segFixedLen)
+	}
+	if frameLen > segFixedLen+MaxSegmentBytes {
+		return netsim.Segment{}, fmt.Errorf("serve: frame payload of %d bytes exceeds the %d-byte cap", frameLen-segFixedLen, MaxSegmentBytes)
+	}
+	b := a.Rent(int(frameLen))
+	buf := b.Data()[:frameLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		b.Release()
+		return netsim.Segment{}, fmt.Errorf("serve: frame body: %w", err)
+	}
+	seg := parseFrame(buf)
+	seg.SetOwned(b)
+	return seg, nil
+}
+
+// parseFrame decodes the fixed fields of a frame body; the payload
+// aliases buf.
+func parseFrame(buf []byte) netsim.Segment {
+	be := binary.BigEndian
 	return netsim.Segment{
 		Flow: netsim.FlowKey{
 			SrcIP:   be.Uint32(buf[0:]),
@@ -96,5 +136,5 @@ func ReadSegment(r io.Reader) (netsim.Segment, error) {
 		TsMicros: be.Uint64(buf[16:]),
 		Flags:    buf[24],
 		Payload:  buf[segFixedLen:],
-	}, nil
+	}
 }
