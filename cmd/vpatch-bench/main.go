@@ -10,6 +10,8 @@
 //	vpatch-bench -accel             # acceleration density sweep
 //	vpatch-bench -ingest            # end-to-end ingest sweep:
 //	                                # per-segment vs batched dispatch
+//	vpatch-bench -rules             # rule-tier overhead sweep:
+//	                                # full semantics vs literal-only
 //	vpatch-bench -kernels           # extract-kernel A/B sweep (all kernels)
 //	vpatch-bench -kernel avx2       # kernel sweep: avx2 vs the swar baseline
 //	vpatch-bench -db web.vpdb      # startup: load vs recompile + scan
@@ -94,6 +96,7 @@ type report struct {
 	BatchSweep  []experiments.BatchSweepRow  `json:"batch_sweep,omitempty"`
 	IngestSweep []experiments.IngestSweepRow `json:"ingest_sweep,omitempty"`
 	AccelSweep  []experiments.AccelSweepRow  `json:"accel_sweep,omitempty"`
+	RuleSweep   []experiments.RuleSweepRow   `json:"rule_sweep,omitempty"`
 	DB          *dbReport                    `json:"db,omitempty"`
 }
 
@@ -157,6 +160,7 @@ func main() {
 	dbPath := flag.String("db", "", "precompiled .vpdb database: run the load-vs-compile startup benchmark instead of figures")
 	accelSweep := flag.Bool("accel", false, "run the skip-loop acceleration density sweep instead of figures")
 	ingestSweep := flag.Bool("ingest", false, "run the end-to-end ingest sweep (per-segment vs batched dispatch) instead of figures")
+	rulesSweep := flag.Bool("rules", false, "run the rule-tier overhead sweep (full rule semantics vs literal-only at 0-10% anchor-hit rates) instead of figures")
 	ingestShards := flag.Int("ingest-shards", 0, "worker shards in the ingest sweep (0 = one per core)")
 	ingestBatch := flag.Int("ingest-batch", 0, "segments per HandleBatch call in the ingest sweep (0 = dispatcher default)")
 	kernelFlag := flag.String("kernel", "auto", "extract kernel to force (auto, avx2, ssse3, swar); with no figure selection, runs the kernel sweep for it vs the swar baseline")
@@ -196,7 +200,7 @@ func main() {
 	// BENCH snapshot the bench-regression gate pins.
 	ranMode := false
 	if *kernelsMode || (kern != vpatch.KernelAuto && *fig == "" && !*all &&
-		*sizesFlag == "" && *dbPath == "" && !*accelSweep && !*ingestSweep) {
+		*sizesFlag == "" && *dbPath == "" && !*accelSweep && !*ingestSweep && !*rulesSweep) {
 		kernels := vpatch.AvailableKernels()
 		if !*kernelsMode {
 			kernels = []vpatch.Kernel{resolved}
@@ -218,6 +222,10 @@ func main() {
 	}
 	if *ingestSweep {
 		runIngestSweep(cfg, *ingestShards, *ingestBatch, *csvDir, rep)
+		ranMode = true
+	}
+	if *rulesSweep {
+		runRuleSweep(cfg, *csvDir, rep)
 		ranMode = true
 	}
 	if ranMode {
@@ -459,6 +467,24 @@ func runIngestSweep(cfg experiments.Config, shards, batch int, csvDir string, re
 	experiments.PrintIngestSweep(os.Stdout, title, rows)
 	rep.IngestSweep = rows
 	writeCSV(csvDir, func() error { return experiments.WriteIngestSweepCSV(csvDir, "ingestsweep.csv", rows) })
+}
+
+// runRuleSweep runs the rule-tier overhead sweep: the full rule
+// semantics pipeline (clause evaluation + anchored lazy-DFA verifier)
+// against the literal-only pipeline over the same prefilter literals,
+// as injected anchor density sweeps from clean traffic to ~10% of
+// bytes. The paper figures stay literal-only; this section is the
+// evidence that verification rides on the prefilter instead of taxing
+// the fast path, and the bench gate pins its clean-traffic overhead.
+func runRuleSweep(cfg experiments.Config, csvDir string, rep *report) {
+	rows, err := experiments.RuleSweep(cfg, vpatch.Options{}, nil)
+	if err != nil {
+		fatalBench(err)
+	}
+	experiments.PrintRuleSweep(os.Stdout,
+		"Rule sweep: full rule semantics vs literal-only prefilter (V-PATCH, random traffic + injected anchors)", rows)
+	rep.RuleSweep = rows
+	writeCSV(csvDir, func() error { return experiments.WriteRuleSweepCSV(csvDir, "rulesweep.csv", rows) })
 }
 
 // writeCSV runs the export when a CSV directory was requested.

@@ -22,9 +22,11 @@
 // speedup ratios are gated the same way: batch-over-serial scan speedup
 // per packet size, and batched-over-per-segment dispatch speedup per
 // segment size (with its own tolerance, -ingest-max-drop, since
-// end-to-end pipeline timings are noisier than scan loops). Snapshots
-// from before a section existed simply skip it — the gate only pins
-// what both snapshots measured.
+// end-to-end pipeline timings are noisier than scan loops). A
+// rule_sweep section gates in the opposite direction: the rule tier's
+// verify overhead ratio per anchor-hit rate must not rise past
+// -rule-max-rise. Snapshots from before a section existed simply skip
+// it — the gate only pins what both snapshots measured.
 //
 // -min-avx2-filter additionally enforces an absolute floor on the AVX2
 // clean-random filtering-round speedup (the paper's §VI claim; 0
@@ -49,6 +51,7 @@ type snapshot struct {
 	KernelSweep []sweepRow  `json:"kernel_sweep"`
 	BatchSweep  []batchRow  `json:"batch_sweep"`
 	IngestSweep []ingestRow `json:"ingest_sweep"`
+	RuleSweep   []ruleRow   `json:"rule_sweep"`
 }
 
 type sweepRow struct {
@@ -74,6 +77,13 @@ type ingestRow struct {
 	BatchedSpeedup    float64 `json:"batched_speedup_vs_per_segment"`
 }
 
+type ruleRow struct {
+	HitRatePct  float64 `json:"hit_rate_pct"`
+	LiteralGbps float64 `json:"literal_gbps"`
+	RuleGbps    float64 `json:"rule_gbps"`
+	Overhead    float64 `json:"verify_overhead"`
+}
+
 func load(path string) (*snapshot, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -91,6 +101,7 @@ func main() {
 	newPath := flag.String("new", "", "freshly measured snapshot to gate")
 	maxDrop := flag.Float64("max-drop", 0.10, "maximum allowed fractional drop per gated metric")
 	ingestMaxDrop := flag.Float64("ingest-max-drop", 0.25, "maximum allowed fractional drop for ingest-sweep ratios (pipeline timings are noisier)")
+	ruleMaxRise := flag.Float64("rule-max-rise", 0.25, "maximum allowed fractional rise in rule-tier verify overhead per hit rate")
 	minAVX2 := flag.Float64("min-avx2-filter", 0, "absolute floor on the avx2 clean-random filter speedup (0 = off)")
 	minIngest64 := flag.Float64("min-ingest-64", 0, "absolute floor on the 64-byte batched-dispatch speedup (0 = off)")
 	abs := flag.Bool("abs", false, "also gate absolute Gbps (same-machine comparisons only)")
@@ -197,6 +208,42 @@ func main() {
 		}
 	} else {
 		fmt.Println("skip ingest_sweep: baseline snapshot has no section")
+	}
+
+	// Rule-sweep gate: the verify overhead ratio (literal-only Gbps over
+	// full-rule-tier Gbps, both measured in-process on this host) must
+	// not rise past its own tolerance at any anchor-hit rate. Lower is
+	// better, so this gate bounds a rise where the others bound a drop.
+	if len(oldSnap.RuleSweep) > 0 {
+		newRule := map[float64]ruleRow{}
+		for _, r := range newSnap.RuleSweep {
+			newRule[r.HitRatePct] = r
+		}
+		for _, o := range oldSnap.RuleSweep {
+			key := fmt.Sprintf("rules/%g%%", o.HitRatePct)
+			n, ok := newRule[o.HitRatePct]
+			if !ok {
+				fmt.Printf("skip %-24s hit rate not in new snapshot\n", key)
+				continue
+			}
+			if o.Overhead <= 0 {
+				continue
+			}
+			ceil := o.Overhead * (1 + *ruleMaxRise)
+			if n.Overhead > ceil {
+				fmt.Printf("FAIL %-24s %-30s %.3f -> %.3f (ceiling %.3f, +%.1f%%)\n",
+					key, "verify_overhead", o.Overhead, n.Overhead, ceil, (n.Overhead/o.Overhead-1)*100)
+				failed = true
+			} else {
+				fmt.Printf("ok   %-24s %-30s %.3f -> %.3f\n", key, "verify_overhead", o.Overhead, n.Overhead)
+			}
+			if *abs {
+				checkDrop(key, "rule_gbps", o.RuleGbps, n.RuleGbps, *ruleMaxRise)
+				checkDrop(key, "literal_gbps", o.LiteralGbps, n.LiteralGbps, *ruleMaxRise)
+			}
+		}
+	} else {
+		fmt.Println("skip rule_sweep: baseline snapshot has no section")
 	}
 
 	if *minIngest64 > 0 {

@@ -17,6 +17,13 @@
 // uses (one engine per protocol group plus the generic group, with
 // original-rule ID mappings), in one file.
 //
+// -rule-semantics (with -ids) compiles the full rule tier instead of
+// literal extraction: every content keeps its offset/depth/distance/
+// within modifiers, nocase contents fold into shared prefilter
+// literals, and pcre tails compile into the anchored regex verifier.
+// The resulting database makes vpatch-ids and vpatch-serve emit
+// rule-level alerts (see the README's "Rule language" section).
+//
 // After writing, the tool reloads the database and verifies it decodes
 // cleanly, printing the compile-vs-load timings.
 package main
@@ -39,11 +46,26 @@ func main() {
 	algoName := flag.String("algo", "vpatch", "algorithm: vpatch spatch dfc vectordfc ac wumanber ffbf")
 	width := flag.Int("width", 8, "vector width for vectorized algorithms (4, 8, 16)")
 	idsMode := flag.Bool("ids", false, "compile the per-protocol rule-group database for the ids pipeline")
+	ruleSem := flag.Bool("rule-semantics", false, "compile full rule semantics (offsets, nocase, pcre verifier) instead of bare literals; implies -ids")
+	window := flag.Int("window", 0, "pcre verifier window in bytes for -rule-semantics (0 = default)")
 	flag.Parse()
 
 	if *outPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	alg, err := vpatch.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	opt := vpatch.Options{Algorithm: alg, VectorWidth: *width}
+
+	if *ruleSem {
+		if *rulesPath == "" {
+			fatal(fmt.Errorf("-rule-semantics needs -rules (pattern files carry no rule options)"))
+		}
+		compileRuleIDS(*rulesPath, opt, *window, *outPath)
+		return
 	}
 	set, err := patterns.LoadSetFile(*rulesPath, *patsPath)
 	if err != nil {
@@ -52,12 +74,6 @@ func main() {
 	if set.Len() == 0 {
 		fatal(fmt.Errorf("no patterns loaded (use -rules or -patterns)"))
 	}
-	alg, err := vpatch.ParseAlgorithm(*algoName)
-	if err != nil {
-		fatal(err)
-	}
-	opt := vpatch.Options{Algorithm: alg, VectorWidth: *width}
-
 	if *idsMode {
 		compileIDS(set, opt, *outPath)
 		return
@@ -120,6 +136,64 @@ func compileIDS(set *vpatch.PatternSet, opt vpatch.Options, outPath string) {
 	t0 = time.Now()
 	if _, err := ids.LoadDB(blob, func(ids.Alert) {}); err != nil {
 		fatal(fmt.Errorf("verification reload failed: %w", err))
+	}
+	fmt.Printf("verified reload in %s (compile was %.1fx slower)\n",
+		round(time.Since(t0)), float64(compileTime)/float64(time.Since(t0)))
+}
+
+// compileRuleIDS parses the rules file with full rule semantics and
+// writes the rule-tier ids database (pattern set + rule section +
+// per-protocol prefilter groups).
+func compileRuleIDS(rulesPath string, opt vpatch.Options, window int, outPath string) {
+	f, err := os.Open(rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	rset, err := vpatch.ParseRuleSet(f, vpatch.RuleParseOptions{Window: int64(window)})
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := ids.NewRuleEngine(rset, opt, func(ids.Alert) {})
+	if err != nil {
+		fatal(err)
+	}
+	compileTime := time.Since(t0)
+
+	blob, err := engine.SerializeDB()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		fatal(err)
+	}
+
+	nRegex := 0
+	for _, r := range rset.Rules {
+		if r.Regex != nil {
+			nRegex++
+		}
+	}
+	fmt.Printf("compiled %d rules (%d with pcre verifier) over %d prefilter literals in %d groups (%s) in %s:\n",
+		len(rset.Rules), nRegex, rset.Lits.Len(), len(engine.GroupSizes()), opt.Algorithm, round(compileTime))
+	sizes := engine.GroupSizes()
+	for _, proto := range []vpatch.Protocol{
+		vpatch.ProtoGeneric, vpatch.ProtoHTTP, vpatch.ProtoDNS, vpatch.ProtoFTP, vpatch.ProtoSMTP,
+	} {
+		if n, ok := sizes[proto]; ok {
+			fmt.Printf("  %-8s %6d literals\n", proto, n)
+		}
+	}
+	fmt.Printf("wrote    %s (%d bytes)\n", outPath, len(blob))
+
+	t0 = time.Now()
+	reloaded, err := ids.LoadDB(blob, func(ids.Alert) {})
+	if err != nil {
+		fatal(fmt.Errorf("verification reload failed: %w", err))
+	}
+	if reloaded.Rules() == nil {
+		fatal(fmt.Errorf("verification reload lost the rule section"))
 	}
 	fmt.Printf("verified reload in %s (compile was %.1fx slower)\n",
 		round(time.Since(t0)), float64(compileTime)/float64(time.Since(t0)))

@@ -11,6 +11,13 @@
 //
 // -db loads a precompiled rule-group database written by
 // `vpatch-compile -ids` instead of compiling the rules at startup.
+// Databases compiled with -rule-semantics carry the full rule tier:
+// alerts then report completed rules (sid + msg) instead of raw
+// literal hits, and -metrics includes the regex-verifier counters.
+//
+// -alerts-out writes every alert as one JSON object per line ("-" for
+// stdout): rule sid/msg or pattern id, the flow 5-tuple, and the
+// stream offset — the same shape vpatch-serve's /v1/alerts streams.
 //
 // -shards N hash-partitions flows across N worker goroutines (each with
 // its own reassembler and scan sessions over the shared compiled
@@ -34,6 +41,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +58,25 @@ import (
 	"vpatch/internal/patterns"
 )
 
+// alertRec is the JSONL alert shape shared with vpatch-serve's
+// /v1/alerts stream (which adds a tenant field).
+type alertRec struct {
+	SID       int64  `json:"sid,omitempty"`
+	Msg       string `json:"msg,omitempty"`
+	Rule      int32  `json:"rule"`
+	Pattern   int32  `json:"pattern"`
+	Proto     string `json:"proto"`
+	SrcIP     string `json:"src_ip"`
+	SrcPort   uint16 `json:"src_port"`
+	DstIP     string `json:"dst_ip"`
+	DstPort   uint16 `json:"dst_port"`
+	StreamOff int64  `json:"stream_off"`
+}
+
+func ip4(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
 func main() {
 	rulesPath := flag.String("rules", "", "Snort-style rules file")
 	dbPath := flag.String("db", "", "precompiled rule-group .vpdb database (instead of -rules)")
@@ -61,6 +89,8 @@ func main() {
 	flowPending := flag.Int("flow-pending", 256<<10, "per-flow out-of-order byte budget (0 = unlimited)")
 	totalPending := flag.Int("total-pending", 64<<20, "per-shard out-of-order byte budget (0 = unlimited)")
 	showMetrics := flag.Bool("metrics", false, "instrument scans and print the merged matcher+lifecycle counters (costs a few %)")
+	alertsOut := flag.String("alerts-out", "", `write every alert as a JSON line to this file ("-" = stdout)`)
+	ruleSem := flag.Bool("rule-semantics", false, "compile -rules with full rule semantics (offsets, nocase, pcre verifier)")
 	flag.Parse()
 	if (*rulesPath == "") == (*dbPath == "") || *pcapPath == "" {
 		flag.Usage()
@@ -88,8 +118,25 @@ func main() {
 			err, len(segs))
 	}
 
+	var alertW *bufio.Writer
+	if *alertsOut != "" {
+		out := os.Stdout
+		if *alertsOut != "-" {
+			f, err := os.Create(*alertsOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		alertW = bufio.NewWriter(out)
+		defer alertW.Flush()
+	}
+
 	// The emit path must be safe for concurrent use: with -shards > 1
-	// every worker goroutine reports through it.
+	// every worker goroutine reports through it. engine is assigned
+	// before any segment is fed, so the rule lookup below is safe.
+	var engine *ids.Engine
 	var mu sync.Mutex
 	perRule := map[int32]int{}
 	perFlow := map[netsim.FlowKey]int{}
@@ -97,12 +144,30 @@ func main() {
 	emit := func(a ids.Alert) {
 		mu.Lock()
 		total++
-		perRule[a.PatternID]++
+		if a.RuleID >= 0 {
+			perRule[a.RuleID]++
+		} else {
+			perRule[a.PatternID]++
+		}
 		perFlow[a.Flow]++
+		if alertW != nil {
+			rec := alertRec{
+				Rule: a.RuleID, Pattern: a.PatternID, Proto: "tcp",
+				SrcIP: ip4(a.Flow.SrcIP), SrcPort: a.Flow.SrcPort,
+				DstIP: ip4(a.Flow.DstIP), DstPort: a.Flow.DstPort,
+				StreamOff: a.StreamOffset,
+			}
+			if rset := engine.Rules(); rset != nil && a.RuleID >= 0 {
+				r := &rset.Rules[a.RuleID]
+				rec.SID, rec.Msg = r.SID, r.Msg
+			}
+			if b, err := json.Marshal(rec); err == nil {
+				alertW.Write(b)
+				alertW.WriteByte('\n')
+			}
+		}
 		mu.Unlock()
 	}
-
-	var engine *ids.Engine
 	if *dbPath != "" {
 		start := time.Now()
 		df, err := os.Open(*dbPath)
@@ -121,18 +186,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		set, err := patterns.ParseRules(rf, patterns.ParseOptions{})
-		rf.Close()
-		if err != nil {
-			fatal(err)
-		}
 		alg, err := vpatch.ParseAlgorithm(*algoName)
 		if err != nil {
 			fatal(err)
 		}
-		engine, err = ids.NewEngine(set, vpatch.Options{Algorithm: alg}, emit)
-		if err != nil {
-			fatal(err)
+		opt := vpatch.Options{Algorithm: alg}
+		if *ruleSem {
+			rset, err := vpatch.ParseRuleSet(rf, vpatch.RuleParseOptions{})
+			rf.Close()
+			if err != nil {
+				fatal(err)
+			}
+			engine, err = ids.NewRuleEngine(rset, opt, emit)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			set, err := patterns.ParseRules(rf, patterns.ParseOptions{})
+			rf.Close()
+			if err != nil {
+				fatal(err)
+			}
+			engine, err = ids.NewEngine(set, opt, emit)
+			if err != nil {
+				fatal(err)
+			}
 		}
 	}
 	set := engine.Set()
@@ -237,7 +315,17 @@ func main() {
 		rules = rules[:*top]
 	}
 	fmt.Printf("\ntop rules:\n")
+	rset := engine.Rules()
 	for _, r := range rules {
+		if rset != nil {
+			rr := &rset.Rules[r.id]
+			msg := rr.Msg
+			if msg == "" {
+				msg = fmt.Sprintf("rule %d", rr.ID)
+			}
+			fmt.Printf("  sid %5d  %6d alerts  %s\n", rr.SID, r.n, msg)
+			continue
+		}
 		p := set.Pattern(r.id)
 		fmt.Printf("  sid %5d  %6d alerts  %q\n", r.id+1, r.n, truncate(p.Data, 40))
 	}

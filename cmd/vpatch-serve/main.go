@@ -15,6 +15,12 @@
 // in flight finish on the generation they started with, new requests
 // use the new rules, and no buffered alert is lost across the swap.
 //
+// Rule-conditioned databases (vpatch-compile -rule-semantics, or
+// -rules with -rule-semantics here) make alerts report completed rules
+// instead of raw literal hits. Every alert — rule or literal — streams
+// on GET /v1/alerts (?follow=1 for a live tail) and, with -alerts-out,
+// appends to a JSONL file.
+//
 // Signals:
 //
 //	SIGHUP           re-read -db (or -rules) and hot-swap the default tenant
@@ -23,6 +29,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -53,6 +60,8 @@ func main() {
 	totalPending := flag.Int("total-pending", 64<<20, "default per-shard out-of-order byte budget (0 = unlimited)")
 	quotaBps := flag.Int64("quota-bps", 0, "default per-tenant ingest byte quota per second (0 = unlimited)")
 	quotaBurst := flag.Int64("quota-burst", 0, "default quota burst bytes (0 = one second of quota)")
+	alertsOut := flag.String("alerts-out", "", `append every alert as a JSON line to this file ("-" = stdout); same records as GET /v1/alerts`)
+	ruleSem := flag.Bool("rule-semantics", false, "compile -rules with full rule semantics (offsets, nocase, pcre verifier)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	check := flag.String("check", "", "health-probe mode: GET this URL, exit 0 on 200 (container HEALTHCHECK helper)")
 	flag.Parse()
@@ -88,8 +97,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *alertsOut != "" {
+		out := os.Stdout
+		if *alertsOut != "-" {
+			f, err := os.OpenFile(*alertsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			out = f
+		}
+		ch, cancel := srv.SubscribeAlerts()
+		defer cancel()
+		go func() {
+			w := bufio.NewWriter(out)
+			enc := json.NewEncoder(w)
+			for rec := range ch {
+				enc.Encode(rec)
+				if len(ch) == 0 {
+					w.Flush()
+				}
+			}
+		}()
+	}
+
 	reload := func() error {
-		db, err := loadRuleBlob(*dbPath, *rulesPath, *algoName)
+		db, err := loadRuleBlob(*dbPath, *rulesPath, *algoName, *ruleSem)
 		if err != nil {
 			return err
 		}
@@ -159,10 +191,10 @@ func main() {
 
 // loadRuleBlob produces the serialized .vpdb blob for the startup (and
 // SIGHUP) rules: either the -db file verbatim, or -rules compiled in
-// process and round-tripped through the database encoder so reload
-// validation sees the same bytes either way. Returns nil when neither
-// flag is set.
-func loadRuleBlob(dbPath, rulesPath, algoName string) ([]byte, error) {
+// process (with full rule semantics when ruleSem is set) and
+// round-tripped through the database encoder so reload validation sees
+// the same bytes either way. Returns nil when neither flag is set.
+func loadRuleBlob(dbPath, rulesPath, algoName string, ruleSem bool) ([]byte, error) {
 	if dbPath != "" {
 		return os.ReadFile(dbPath)
 	}
@@ -173,18 +205,31 @@ func loadRuleBlob(dbPath, rulesPath, algoName string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	set, err := patterns.ParseRules(rf, patterns.ParseOptions{})
-	rf.Close()
-	if err != nil {
-		return nil, err
-	}
+	defer rf.Close()
 	alg, err := vpatch.ParseAlgorithm(algoName)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := ids.NewEngine(set, vpatch.Options{Algorithm: alg}, func(ids.Alert) {})
-	if err != nil {
-		return nil, err
+	opt := vpatch.Options{Algorithm: alg}
+	var eng *ids.Engine
+	if ruleSem {
+		rset, err := vpatch.ParseRuleSet(rf, vpatch.RuleParseOptions{})
+		if err != nil {
+			return nil, err
+		}
+		eng, err = ids.NewRuleEngine(rset, opt, func(ids.Alert) {})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		set, err := patterns.ParseRules(rf, patterns.ParseOptions{})
+		if err != nil {
+			return nil, err
+		}
+		eng, err = ids.NewEngine(set, opt, func(ids.Alert) {})
+		if err != nil {
+			return nil, err
+		}
 	}
 	var buf bytes.Buffer
 	if _, err := eng.WriteDB(&buf); err != nil {

@@ -16,6 +16,7 @@ import (
 	"vpatch"
 	"vpatch/internal/dbfmt"
 	"vpatch/internal/patterns"
+	"vpatch/internal/rules"
 )
 
 // dbProtocols is the deterministic group order of the database file:
@@ -28,6 +29,13 @@ func (e *Engine) SerializeDB() ([]byte, error) {
 	var pe dbfmt.Encoder
 	patterns.EncodeSet(&pe, e.set)
 	secs := []dbfmt.Section{{Tag: dbfmt.TagPatterns, Data: pe.Bytes()}}
+	if e.rules != nil {
+		// The rule tier rides in its own section over the same pattern
+		// set; literal-only readers never look for it.
+		var re dbfmt.Encoder
+		e.rules.Encode(&re)
+		secs = append(secs, dbfmt.Section{Tag: dbfmt.TagRules, Data: re.Bytes()})
+	}
 	h := dbfmt.Header{Kind: dbfmt.KindIDS, Digest: e.set.Digest()}
 	first := true
 	for _, proto := range dbProtocols {
@@ -101,6 +109,13 @@ func LoadDB(data []byte, emit func(Alert)) (*Engine, error) {
 	}
 
 	e := &Engine{set: set, groups: make(map[vpatch.Protocol]*group)}
+	if rsec := dbfmt.FindSection(secs, dbfmt.TagRules); rsec != nil {
+		rset, err := rules.DecodeSet(rsec, set)
+		if err != nil {
+			return nil, fmt.Errorf("ids: rule section: %w", err)
+		}
+		e.rules = rset
+	}
 	for _, s := range secs {
 		if s.Tag != dbfmt.TagGroup {
 			continue

@@ -52,16 +52,25 @@ import (
 	"vpatch/internal/metrics"
 	"vpatch/internal/netsim"
 	"vpatch/internal/patterns"
+	"vpatch/internal/rules"
 )
 
-// Alert is one confirmed pattern occurrence in a flow's stream.
+// Alert is one confirmed detection in a flow's stream. Engines built
+// from a plain pattern set (NewEngine) emit one alert per literal
+// occurrence; rule-conditioned engines (NewRuleEngine) emit one alert
+// per completed rule, at most once per rule per flow.
 type Alert struct {
 	Flow netsim.FlowKey
-	// StreamOffset is the match position within the flow's reassembled
-	// payload stream.
+	// StreamOffset is the alert position within the flow's reassembled
+	// payload stream: the literal occurrence's start, or — for rule
+	// alerts — the start of the rule's final clause match.
 	StreamOffset int64
-	// PatternID indexes the engine's original rule set.
+	// PatternID indexes the engine's original pattern set; -1 on rule
+	// alerts (a rule spans several literals).
 	PatternID int32
+	// RuleID indexes the engine's rule set (rules.Set order); -1 on
+	// literal alerts.
+	RuleID int32
 }
 
 // Engine holds the compiled per-protocol rule groups — immutable and
@@ -72,6 +81,11 @@ type Alert struct {
 type Engine struct {
 	set    *vpatch.PatternSet
 	groups map[vpatch.Protocol]*group
+	// rules, when non-nil, layers the rule-semantics tier over the
+	// groups: the groups prefilter the rule set's literals and every
+	// shard evaluates clause conditions and regex tails on the hits
+	// (see NewRuleEngine).
+	rules *rules.Set
 
 	def *Shard
 }
@@ -126,6 +140,13 @@ type Shard struct {
 	obsFlow      *netsim.AtomicStats
 	obsScratch   vpatch.Counters
 	segsSinceObs int
+
+	// Rule tier (rule-conditioned engines only): the shard's clause/
+	// regex evaluator and the per-flush hit collection buffer (literal
+	// hits are gathered per batch, ordered per buffer by match end, and
+	// replayed through the evaluator — see evalRuleHits).
+	ev       *rules.Eval
+	ruleHits []ruleHit
 }
 
 // obsPublishEvery is how many segments a shard handles between
@@ -146,6 +167,12 @@ type flowState struct {
 	maxLen   int
 	carry    []byte
 	consumed int64 // stream bytes absorbed (end of carry)
+	// rstate is the flow's rule-evaluation progress (rule-conditioned
+	// engines only, nil otherwise). It lives on the flowState — in
+	// reassembly-ordered absolute stream offsets — so clause distance/
+	// within spans and suspended regex verifications carry across
+	// segment and batch boundaries exactly like the literal carry does.
+	rstate *rules.FlowState
 }
 
 // groupBatch is one protocol group's pending scan jobs: the buffers
@@ -264,6 +291,9 @@ func (e *Engine) NewShard(emit func(Alert)) *Shard {
 		maxBatchBufs:  DefaultBatchBufs,
 		maxBatchBytes: DefaultBatchBytes,
 	}
+	if e.rules != nil {
+		s.ev = rules.NewEval(e.rules)
+	}
 	s.reasm = netsim.NewReassembler(s.onPayload)
 	s.reasm.OnClose(s.onFlowClose)
 	return s
@@ -325,14 +355,26 @@ func (s *Shard) onFlowClose(k netsim.FlowKey, evicted bool) {
 	if fs == nil {
 		return
 	}
-	if evicted {
+	if evicted || fs.rstate != nil {
 		// Flush only when the batch actually holds jobs of this flow:
 		// under flow-cap churn most evicted flows were flushed by a
 		// watermark long ago, and flushing the shared group batch for
 		// each of them would collapse batching back to scan-per-payload.
+		// Rule-conditioned flows flush on normal teardown too — their
+		// enqueued jobs need the flow's rule state, settled below.
 		if pb := s.pending[fs.g]; pb != nil && pb.hasJobs(fs) {
 			s.flushGroup(fs.g, pb)
 		}
+	}
+	if fs.rstate != nil {
+		// The stream has ended: settle suspended regex verifications so
+		// an accepted anchor queued behind a now-unresolvable one fires.
+		c := s.counters
+		if s.obsScan != nil {
+			c = &s.obsScratch
+		}
+		s.ev.FinishFlow(fs.rstate, c, s.ruleEmitter(fs))
+		fs.rstate = nil
 	}
 	fs.carry = nil
 	delete(s.flows, k)
@@ -500,6 +542,9 @@ func (s *Shard) onPayload(k netsim.FlowKey, payload []byte) {
 			maxLen = 1
 		}
 		fs = &flowState{key: k, g: g, maxLen: maxLen}
+		if s.ev != nil {
+			fs.rstate = rules.NewFlowState(protoForPort(k.DstPort))
+		}
 		s.flows[k] = fs
 	}
 
@@ -547,21 +592,42 @@ func (s *Shard) flushGroup(g *group, pb *groupBatch) {
 	}
 	if pb.onMatch == nil {
 		set := g.eng.Set()
-		pb.onMatch = func(buf int, m vpatch.Match) {
-			ent := &pb.meta[buf]
-			// Matches ending inside the carry prefix were reported by
-			// the batch that scanned those stream bytes first.
-			if int(m.Pos)+set.Pattern(m.PatternID).Len() <= ent.carryLen {
-				return
+		switch {
+		case s.ev != nil:
+			// Rule tier: collect hits for post-scan evaluation instead of
+			// emitting them (ScanBatch match order within one buffer is
+			// not ordered by match end, the evaluator's input contract).
+			pb.onMatch = func(buf int, m vpatch.Match) {
+				ent := &pb.meta[buf]
+				end := int(m.Pos) + set.Pattern(m.PatternID).Len()
+				if end <= ent.carryLen {
+					return
+				}
+				s.ruleHits = append(s.ruleHits, ruleHit{
+					buf: int32(buf), lit: g.origID[m.PatternID], pos: m.Pos, end: int32(end),
+				})
 			}
-			s.emit(Alert{
-				Flow:         ent.fs.key,
-				StreamOffset: ent.base + int64(m.Pos),
-				PatternID:    g.origID[m.PatternID],
-			})
+		default:
+			pb.onMatch = func(buf int, m vpatch.Match) {
+				ent := &pb.meta[buf]
+				// Matches ending inside the carry prefix were reported by
+				// the batch that scanned those stream bytes first.
+				if int(m.Pos)+set.Pattern(m.PatternID).Len() <= ent.carryLen {
+					return
+				}
+				s.emit(Alert{
+					Flow:         ent.fs.key,
+					StreamOffset: ent.base + int64(m.Pos),
+					PatternID:    g.origID[m.PatternID],
+					RuleID:       -1,
+				})
+			}
 		}
 	}
 	s.session(g).ScanBatch(pb.bufs, c, pb.onMatch)
+	if s.ev != nil {
+		s.evalRuleHits(pb, c)
+	}
 	pb.free = append(pb.free, pb.bufs...)
 	pb.bufs = pb.bufs[:0]
 	pb.meta = pb.meta[:0]

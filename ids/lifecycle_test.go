@@ -197,7 +197,7 @@ func TestPipelineReorderOverlapTeardownProperty(t *testing.T) {
 			for k, data := range flows {
 				g := e.groupFor(k)
 				for _, m := range g.eng.FindAll(data) {
-					want = append(want, Alert{Flow: k, StreamOffset: int64(m.Pos), PatternID: g.origID[m.PatternID]})
+					want = append(want, Alert{Flow: k, StreamOffset: int64(m.Pos), PatternID: g.origID[m.PatternID], RuleID: -1})
 				}
 			}
 			sortAlerts(got)

@@ -1,0 +1,122 @@
+package ids
+
+// The rule-semantics tier of the pipeline: engines built with
+// NewRuleEngine prefilter traffic with the rule set's case-folded
+// literals exactly like literal engines do — same groups, same batched
+// ScanBatch path, same carry discipline — and then replay the literal
+// hits through the clause/regex evaluator (internal/rules) to decide
+// which of them complete a rule. Alerts carry RuleID instead of
+// PatternID and fire at most once per rule per flow.
+//
+// The literal engines remain pure prefilters: every byte of traffic is
+// still scanned only by the multi-pattern matchers, and the regex
+// verifier runs exclusively at literal-hit anchor windows (the
+// VerifierRuns counter makes that observable).
+
+import (
+	"fmt"
+	"sort"
+
+	"vpatch"
+	"vpatch/internal/rules"
+)
+
+// NewRuleEngine compiles a rule-conditioned engine from a parsed rule
+// set: rset's literal set becomes the per-protocol prefilter groups,
+// and every shard layers the clause/regex evaluator on top. Alerts are
+// rule completions (Alert.RuleID); emit must be non-nil.
+func NewRuleEngine(rset *rules.Set, opt vpatch.Options, emit func(Alert)) (*Engine, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("ids: nil alert sink")
+	}
+	if rset == nil || len(rset.Rules) == 0 {
+		return nil, fmt.Errorf("ids: empty rule set")
+	}
+	e := &Engine{
+		set:    rset.Lits,
+		groups: make(map[vpatch.Protocol]*group),
+		rules:  rset,
+	}
+	if g, err := buildGroup(e.set, vpatch.ProtoGeneric, opt); err != nil {
+		return nil, err
+	} else if g != nil {
+		e.groups[vpatch.ProtoGeneric] = g
+	}
+	for _, proto := range groupedProtocols {
+		g, err := buildGroup(e.set, proto, opt)
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
+			e.groups[proto] = g
+		}
+	}
+	e.def = e.NewShard(emit)
+	return e, nil
+}
+
+// Rules returns the engine's rule set, or nil for literal engines.
+func (e *Engine) Rules() *rules.Set { return e.rules }
+
+// ruleHit is one literal occurrence queued for rule evaluation during
+// a batch flush: the batch buffer it landed in, the original literal
+// ID, and its buffer-relative span.
+type ruleHit struct {
+	buf      int32
+	lit      int32
+	pos, end int32
+}
+
+// ruleEmitter adapts the shard's alert sink to the evaluator's emit
+// callback for one flow.
+func (s *Shard) ruleEmitter(fs *flowState) rules.EmitFunc {
+	return func(rule int32, off int64) {
+		s.emit(Alert{
+			Flow:         fs.key,
+			StreamOffset: off,
+			PatternID:    -1,
+			RuleID:       rule,
+		})
+	}
+}
+
+// evalRuleHits replays one flushed batch's literal hits through the
+// rule evaluator. Hits are ordered per buffer by match end — the
+// evaluator's input contract (a flow's buffers already sit in stream
+// order in the batch, and carry duplicates were dropped at collection,
+// so per-flow hit ends are nondecreasing). Before a buffer's hits, the
+// buffer's new bytes advance any regex verification the flow suspended
+// at an earlier batch boundary.
+func (s *Shard) evalRuleHits(pb *groupBatch, c *vpatch.Counters) {
+	hits := s.ruleHits
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].buf != hits[j].buf {
+			return hits[i].buf < hits[j].buf
+		}
+		return hits[i].end < hits[j].end
+	})
+	hi := 0
+	for b := range pb.meta {
+		ent := &pb.meta[b]
+		fs := ent.fs
+		if fs.rstate == nil {
+			// Flow already settled (closed) — skip its stale hits.
+			for hi < len(hits) && int(hits[hi].buf) == b {
+				hi++
+			}
+			continue
+		}
+		buf := pb.bufs[b]
+		emit := s.ruleEmitter(fs)
+		if fs.rstate.HasPending() {
+			s.ev.FeedBuffer(fs.rstate, buf, ent.base, c, emit)
+		}
+		for hi < len(hits) && int(hits[hi].buf) == b {
+			h := hits[hi]
+			hi++
+			s.ev.OnHit(fs.rstate, h.lit,
+				ent.base+int64(h.pos), ent.base+int64(h.end), buf, ent.base, c, emit)
+		}
+	}
+	s.ruleHits = hits[:0]
+}

@@ -27,9 +27,19 @@ import (
 const Magic = "VPDB"
 
 // FormatVersion is the current database format version. Loaders reject
-// any other version: the compiled layouts of the engines are not
+// any newer version: the compiled layouts of the engines are not
 // negotiated field by field, the version stands for all of them.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	1 — literal-only databases (patterns + engine/group sections).
+//	2 — adds the optional TagRules section (rule-semantics tier).
+//	    Version-1 files still load: the section layouts they carry are
+//	    unchanged, they simply predate rules.
+const FormatVersion = 2
+
+// minFormatVersion is the oldest version this build still reads.
+const minFormatVersion = 1
 
 // Kind distinguishes the two database layouts sharing the container.
 type Kind uint8
@@ -52,6 +62,10 @@ const (
 	TagEngine uint32 = 2
 	// TagGroup holds one IDS protocol group (repeatable).
 	TagGroup uint32 = 3
+	// TagRules holds the compiled rule-semantics set (clause conditions
+	// and regex tails layered over the pattern set). Optional; absent in
+	// literal-only and pre-version-2 databases.
+	TagRules uint32 = 4
 )
 
 // Header is the fixed-size file header.
@@ -108,8 +122,8 @@ func Decode(data []byte) (Header, []Section, error) {
 	if string(data[:4]) != Magic {
 		return h, nil, fmt.Errorf("dbfmt: bad magic %q (not a compiled pattern database)", data[:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:]); v != FormatVersion {
-		return h, nil, fmt.Errorf("dbfmt: format version %d not supported (this build reads version %d)", v, FormatVersion)
+	if v := binary.LittleEndian.Uint16(data[4:]); v < minFormatVersion || v > FormatVersion {
+		return h, nil, fmt.Errorf("dbfmt: format version %d not supported (this build reads versions %d..%d)", v, minFormatVersion, FormatVersion)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {

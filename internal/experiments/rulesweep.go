@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"vpatch"
+	"vpatch/ids"
+	"vpatch/internal/metrics"
+	"vpatch/internal/netsim"
+	"vpatch/internal/traffic"
+)
+
+// The rule-tier overhead sweep: the experiment behind the
+// prefilter-then-verify design. The same traffic volume is scanned by
+// a literal-only pipeline (the paper's configuration) and by the full
+// rule tier (clause evaluation plus the anchored lazy-DFA regex
+// verifier) while the density of injected anchor literals sweeps from
+// 0% to ~10% of traffic bytes. Because the verifier runs only at
+// literal-hit anchors, its cost must scale with the hit rate and
+// vanish at 0% — this sweep measures exactly that, and the CI bench
+// gate pins the clean-traffic overhead.
+
+// RuleSweepRow is one anchor-hit-rate cell.
+type RuleSweepRow struct {
+	// HitRatePct is the injected anchor literals' share of traffic
+	// bytes, in percent (0 = clean traffic, the deployment-dominant
+	// case).
+	HitRatePct float64 `json:"hit_rate_pct"`
+
+	// Anchors counts prefilter literal hits; VerifierRuns and
+	// RuleAlerts are the rule tier's own counters on the same traffic.
+	Anchors      uint64 `json:"anchors"`
+	VerifierRuns uint64 `json:"verifier_runs"`
+	RuleAlerts   uint64 `json:"rule_alerts"`
+
+	// LiteralGbps is the literal-only pipeline's throughput over the
+	// same prefilter literals; RuleGbps is the full rule tier's.
+	LiteralGbps float64 `json:"literal_gbps"`
+	RuleGbps    float64 `json:"rule_gbps"`
+
+	// Overhead is LiteralGbps / RuleGbps (1.0 = free verification).
+	Overhead float64 `json:"verify_overhead"`
+}
+
+// ruleSweepRules is the synthetic rule set: every rule is one
+// high-entropy content anchor plus a short regex tail, half of the
+// injected sites verifying and half rejecting, so both verifier exits
+// are on the measured path.
+const ruleSweepRules = 16
+
+func ruleSweepRuleText() string {
+	var b strings.Builder
+	for i := 0; i < ruleSweepRules; i++ {
+		fmt.Fprintf(&b, "alert tcp any any -> any any (msg:\"sweep %d\"; "+
+			"content:\"VPSWEEP%02dQZ\"; pcre:\"/[a-f]{4}/\"; sid:%d;)\n", i, i, 9000+i)
+	}
+	return b.String()
+}
+
+// injectAnchors overwrites random sites of data with the sweep
+// literals plus a 4-byte tail until about hitPct percent of the bytes
+// belong to injected anchors. Half the tails satisfy the rules' regex.
+func injectAnchors(data []byte, hitPct float64, seed int64) {
+	const siteLen = 11 + 4 // literal + tail
+	n := int(hitPct / 100 * float64(len(data)) / siteLen)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(data) - siteLen)
+		site := data[pos : pos+siteLen]
+		copy(site, fmt.Sprintf("VPSWEEP%02dQZ", rng.Intn(ruleSweepRules)))
+		tail := "zzzz" // rejects at the first DFA step
+		if rng.Intn(2) == 0 {
+			tail = "beef" // verifies
+		}
+		copy(site[11:], tail)
+	}
+}
+
+// ruleSweepFeed drives one engine over the traffic as a single
+// in-order flow and returns the wall-clock nanoseconds.
+func ruleSweepFeed(eng *ids.Engine, data []byte, flow uint16) int64 {
+	const mtu = 1460
+	key := netsim.FlowKey{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: flow, DstPort: 9999}
+	t0 := time.Now()
+	seq := uint32(0)
+	for off := 0; off < len(data); off += mtu {
+		end := off + mtu
+		if end > len(data) {
+			end = len(data)
+		}
+		seg := netsim.Segment{Flow: key, Seq: seq, Payload: data[off:end]}
+		if end == len(data) {
+			seg.Flags = netsim.FlagFIN
+		}
+		eng.HandleSegment(seg)
+		seq += uint32(end - off)
+	}
+	eng.Flush()
+	return time.Since(t0).Nanoseconds()
+}
+
+// RuleSweep measures verify overhead versus the literal-only pipeline
+// at each anchor-hit rate (percent of traffic bytes covered by
+// injected anchor literals; nil = 0%, 1%, 5%, 10%).
+func RuleSweep(cfg Config, opt vpatch.Options, hitRatesPct []float64) ([]RuleSweepRow, error) {
+	cfg = cfg.withDefaults()
+	if hitRatesPct == nil {
+		hitRatesPct = []float64{0, 1, 5, 10}
+	}
+	rset, err := vpatch.ParseRuleSet(strings.NewReader(ruleSweepRuleText()), vpatch.RuleParseOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []RuleSweepRow
+	for _, pct := range hitRatesPct {
+		data := traffic.Random(cfg.TrafficBytes, cfg.Seed)
+		injectAnchors(data, pct, cfg.Seed+int64(pct*1000))
+		row := RuleSweepRow{HitRatePct: pct}
+
+		// Both pipelines prefilter the same literals; only the rule
+		// engine runs clause evaluation and the anchored verifier.
+		sink := func(ids.Alert) {}
+		lit, err := ids.NewEngine(rset.Lits, opt, sink)
+		if err != nil {
+			return nil, err
+		}
+		rul, err := ids.NewRuleEngine(rset, opt, sink)
+		if err != nil {
+			return nil, err
+		}
+
+		// Wall clock: un-instrumented runs, best of Repeats, one fresh
+		// flow per repeat so per-flow rule state never carries over.
+		for r := 0; r < cfg.Repeats; r++ {
+			ns := ruleSweepFeed(lit, data, uint16(1000+r))
+			if g := metrics.Throughput(uint64(len(data)), ns); g > row.LiteralGbps {
+				row.LiteralGbps = g
+			}
+			ns = ruleSweepFeed(rul, data, uint16(2000+r))
+			if g := metrics.Throughput(uint64(len(data)), ns); g > row.RuleGbps {
+				row.RuleGbps = g
+			}
+		}
+		// One instrumented pass for the event counters.
+		var c vpatch.Counters
+		rul.SetCounters(&c)
+		ruleSweepFeed(rul, data, 3000)
+		row.Anchors = c.Matches
+		row.VerifierRuns = c.VerifierRuns
+		row.RuleAlerts = c.RuleAlerts
+		if row.RuleGbps > 0 {
+			row.Overhead = row.LiteralGbps / row.RuleGbps
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintRuleSweep renders the sweep as an aligned text table.
+func PrintRuleSweep(w io.Writer, title string, rows []RuleSweepRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%8s %10s %10s %8s %12s %10s %9s\n",
+		"hit_pct", "anchors", "verif_runs", "alerts", "literal_gbps", "rule_gbps", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.1f %10d %10d %8d %12.3f %10.3f %9.2f\n",
+			r.HitRatePct, r.Anchors, r.VerifierRuns, r.RuleAlerts,
+			r.LiteralGbps, r.RuleGbps, r.Overhead)
+	}
+}
+
+// WriteRuleSweepCSV exports the rule sweep.
+func WriteRuleSweepCSV(dir, name string, rows []RuleSweepRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			ftoa(r.HitRatePct), fmt.Sprint(r.Anchors), fmt.Sprint(r.VerifierRuns),
+			fmt.Sprint(r.RuleAlerts), ftoa(r.LiteralGbps), ftoa(r.RuleGbps), ftoa(r.Overhead),
+		})
+	}
+	return writeCSV(dir, name,
+		[]string{"hit_rate_pct", "anchors", "verifier_runs", "rule_alerts",
+			"literal_gbps", "rule_gbps", "verify_overhead"}, out)
+}

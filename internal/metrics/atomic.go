@@ -50,6 +50,10 @@ type Atomic struct {
 
 	matches atomic.Uint64
 
+	verifierRuns   atomic.Uint64
+	verifierStates atomic.Uint64
+	ruleAlerts     atomic.Uint64
+
 	flowsEvicted atomic.Uint64
 	bytesDropped atomic.Uint64
 	peakFlows    atomic.Uint64
@@ -85,6 +89,9 @@ func (a *Atomic) AddCounters(c *Counters) {
 	a.verifyBytes.Add(c.VerifyBytes)
 	a.dfaAccesses.Add(c.DFAAccesses)
 	a.matches.Add(c.Matches)
+	a.verifierRuns.Add(c.VerifierRuns)
+	a.verifierStates.Add(c.VerifierStates)
+	a.ruleAlerts.Add(c.RuleAlerts)
 	a.flowsEvicted.Add(c.FlowsEvicted)
 	a.bytesDropped.Add(c.BytesDropped)
 	storeMax(&a.peakFlows, c.PeakFlows)
@@ -131,6 +138,9 @@ func (a *Atomic) Snapshot() Counters {
 		VerifyBytes:        a.verifyBytes.Load(),
 		DFAAccesses:        a.dfaAccesses.Load(),
 		Matches:            a.matches.Load(),
+		VerifierRuns:       a.verifierRuns.Load(),
+		VerifierStates:     a.verifierStates.Load(),
+		RuleAlerts:         a.ruleAlerts.Load(),
 		FlowsEvicted:       a.flowsEvicted.Load(),
 		BytesDropped:       a.bytesDropped.Load(),
 		PeakFlows:          a.peakFlows.Load(),

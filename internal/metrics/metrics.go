@@ -87,6 +87,17 @@ type Counters struct {
 	// Matches found.
 	Matches uint64
 
+	// Rule-tier verification (the layer above the literal matchers).
+	// VerifierRuns counts regex verifications started at literal-hit
+	// anchors, VerifierStates counts lazy-DFA states constructed across
+	// them (cache misses — a hot verifier converges to zero new states),
+	// and RuleAlerts counts rule-level alerts emitted after all clauses
+	// and the regex tail agreed. VerifierRuns/RuleAlerts vs Matches is
+	// the prefilter-vs-verify cost story in one ratio.
+	VerifierRuns   uint64
+	VerifierStates uint64
+	RuleAlerts     uint64
+
 	// Flow-lifecycle events from the reassembly/IDS pipeline (zero for
 	// plain buffer scans). FlowsEvicted counts open flows dropped by
 	// the flow cap or idle timeout, BytesDropped counts payload bytes
@@ -127,6 +138,9 @@ func (c *Counters) Add(o *Counters) {
 	c.VerifyBytes += o.VerifyBytes
 	c.DFAAccesses += o.DFAAccesses
 	c.Matches += o.Matches
+	c.VerifierRuns += o.VerifierRuns
+	c.VerifierStates += o.VerifierStates
+	c.RuleAlerts += o.RuleAlerts
 	c.FlowsEvicted += o.FlowsEvicted
 	c.BytesDropped += o.BytesDropped
 	if o.PeakFlows > c.PeakFlows {
@@ -202,13 +216,14 @@ func (c *Counters) CandidateFrac() float64 {
 
 func (c *Counters) String() string {
 	return fmt.Sprintf(
-		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) skipped=%d(chances %d, runs %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d evicted=%d dropped=%dB peakflows=%d filter=%s verify=%s",
+		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) skipped=%d(chances %d, runs %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d rules=%d(runs %d, states %d) evicted=%d dropped=%dB peakflows=%d filter=%s verify=%s",
 		c.BytesScanned, c.Filter1Probes, c.Filter2Probes, c.Filter3Probes,
 		c.VectorIters, c.Gathers, c.MergedGathers, c.Filter3Blocks,
 		c.BatchIters, c.BatchActiveLanes,
 		c.SkippedBytes, c.AccelChances, c.AccelRuns,
 		c.ShortCandidates, c.LongCandidates, c.HTProbes, c.VerifyAttempts,
 		c.VerifyBytes, c.Matches,
+		c.RuleAlerts, c.VerifierRuns, c.VerifierStates,
 		c.FlowsEvicted, c.BytesDropped, c.PeakFlows,
 		time.Duration(c.FilteringNs), time.Duration(c.VerifyNs))
 }

@@ -206,6 +206,31 @@ func (s *Set) Add(data []byte, nocase bool, proto Protocol) int32 {
 	return id
 }
 
+// Lookup returns the ID of the pattern equal to (data, nocase), if the
+// set holds one. For nocase lookups data is folded first, mirroring
+// Add. It is how the rule compiler's case-folded compilation reuses one
+// engine literal for every case variant of a content: a case-sensitive
+// clause whose folded form is already compiled nocase anchors on the
+// existing literal and re-verifies the exact bytes at evaluation time,
+// instead of growing the filter tables with a near-duplicate.
+func (s *Set) Lookup(data []byte, nocase bool) (int32, bool) {
+	key := data
+	if nocase {
+		key = Fold(data)
+	}
+	if s.seen != nil {
+		id, ok := s.seen[dedupKey(key, nocase)]
+		return id, ok
+	}
+	for i := range s.pats {
+		p := &s.pats[i]
+		if p.Nocase == nocase && string(p.Data) == string(key) {
+			return p.ID, true
+		}
+	}
+	return -1, false
+}
+
 // Len returns the number of patterns.
 func (s *Set) Len() int { return len(s.pats) }
 

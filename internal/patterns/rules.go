@@ -202,6 +202,21 @@ func nocaseFollows(rest string) bool {
 	return false
 }
 
+// DecodeContent decodes a Snort content body starting just after the
+// opening quote (escapes and |HH| hex blocks), returning the decoded
+// bytes and the input bytes consumed including the closing quote. It
+// is exported for the rule-semantics parser (internal/rules), which
+// shares content syntax with this literal-only parser byte for byte.
+func DecodeContent(s string) (data []byte, consumed int, err error) {
+	return decodeContent(s)
+}
+
+// ProtoFromHeader classifies one rule line's traffic class from its
+// header ports (see protoFromHeader); exported for internal/rules.
+func ProtoFromHeader(line string) Protocol {
+	return protoFromHeader(line)
+}
+
 // decodeContent decodes a Snort content body starting just after the
 // opening quote. It returns the decoded bytes and the number of input
 // bytes consumed including the closing quote.

@@ -1,0 +1,162 @@
+package rules
+
+import (
+	"bytes"
+	"fmt"
+
+	"vpatch/internal/dbfmt"
+	"vpatch/internal/patterns"
+	"vpatch/internal/rules/redfa"
+)
+
+// Serialization of the rule-semantics set: the payload of a database's
+// TagRules section. The literal set itself travels in the database's
+// TagPatterns section as before — this section only carries what the
+// rule tier layers on top (clause conditions referencing literal IDs,
+// and compiled regex programs), so literal-only readers of the same
+// file are unaffected. Encoding is deterministic: encode(decode(x))
+// reproduces x byte for byte.
+
+// Clause flag bits.
+const (
+	cfNocase    = 1 << 0
+	cfExact     = 1 << 1
+	cfHasDepth  = 1 << 2
+	cfHasWithin = 1 << 3
+)
+
+// maxRules bounds the decoder's trust in rule counts.
+const maxRules = 1 << 20
+
+// Encode appends the set's rule-section payload to e. The literal set
+// (s.Lits) is not included; it serializes separately.
+func (s *Set) Encode(e *dbfmt.Encoder) {
+	e.Uvarint(uint64(s.Window))
+	e.Uvarint(uint64(len(s.Rules)))
+	for ri := range s.Rules {
+		r := &s.Rules[ri]
+		e.Uvarint(uint64(r.SID))
+		e.Blob([]byte(r.Msg))
+		e.U8(uint8(r.Proto))
+		e.Uvarint(uint64(len(r.Clauses)))
+		for ci := range r.Clauses {
+			cl := &r.Clauses[ci]
+			var flags uint8
+			if cl.Nocase {
+				flags |= cfNocase
+			}
+			if cl.Exact {
+				flags |= cfExact
+			}
+			if cl.HasDepth {
+				flags |= cfHasDepth
+			}
+			if cl.HasWithin {
+				flags |= cfHasWithin
+			}
+			e.U8(flags)
+			e.Uvarint(uint64(cl.Lit))
+			e.Blob(cl.Data)
+			e.Uvarint(uint64(cl.Offset))
+			e.Uvarint(uint64(cl.Depth))
+			e.Uvarint(uint64(cl.Distance))
+			e.Uvarint(uint64(cl.Within))
+		}
+		e.Bool(r.Regex != nil)
+		if r.Regex != nil {
+			r.Regex.Encode(e)
+		}
+	}
+}
+
+// DecodeSet restores a rule set from a TagRules payload, resolving
+// clause literal references against lits (the database's already-
+// decoded pattern set) and rebuilding the postings lists. Every count,
+// reference and bound is validated; corrupt input returns an error,
+// never panics.
+func DecodeSet(payload []byte, lits *patterns.Set) (*Set, error) {
+	d := dbfmt.NewDecoder(payload)
+	s := &Set{Lits: lits}
+	s.Window = int64(d.Uvarint())
+	if d.Err() == nil && (s.Window <= 0 || s.Window > 1<<30) {
+		return nil, fmt.Errorf("rules: bad verification window %d", s.Window)
+	}
+	nRules := d.Uvarint()
+	if d.Err() == nil && nRules > maxRules {
+		return nil, fmt.Errorf("rules: rule count %d exceeds limit", nRules)
+	}
+	for ri := uint64(0); ri < nRules && d.Err() == nil; ri++ {
+		r := Rule{ID: int32(ri)}
+		r.SID = int64(d.Uvarint())
+		if d.Err() == nil && r.SID < 0 {
+			return nil, fmt.Errorf("rules: rule %d: sid overflows", ri)
+		}
+		r.Msg = string(d.Blob())
+		r.Proto = patterns.Protocol(d.U8())
+		if d.Err() == nil && r.Proto > patterns.ProtoSMTP {
+			return nil, fmt.Errorf("rules: rule %d: unknown protocol %d", ri, r.Proto)
+		}
+		nClauses := d.Uvarint()
+		if d.Err() == nil && (nClauses == 0 || nClauses > maxClauses) {
+			return nil, fmt.Errorf("rules: rule %d: bad clause count %d", ri, nClauses)
+		}
+		for ci := uint64(0); ci < nClauses && d.Err() == nil; ci++ {
+			var cl Clause
+			flags := d.U8()
+			if d.Err() == nil && flags&^uint8(cfNocase|cfExact|cfHasDepth|cfHasWithin) != 0 {
+				return nil, fmt.Errorf("rules: rule %d clause %d: unknown flags %#x", ri, ci, flags)
+			}
+			cl.Nocase = flags&cfNocase != 0
+			cl.Exact = flags&cfExact != 0
+			cl.HasDepth = flags&cfHasDepth != 0
+			cl.HasWithin = flags&cfHasWithin != 0
+			lit := d.Uvarint()
+			cl.Data = append([]byte(nil), d.Blob()...)
+			cl.Offset = int64(d.Uvarint())
+			cl.Depth = int64(d.Uvarint())
+			cl.Distance = int64(d.Uvarint())
+			cl.Within = int64(d.Uvarint())
+			if d.Err() != nil {
+				break
+			}
+			if lit >= uint64(lits.Len()) {
+				return nil, fmt.Errorf("rules: rule %d clause %d: literal %d out of range (%d literals)", ri, ci, lit, lits.Len())
+			}
+			cl.Lit = int32(lit)
+			p := lits.Pattern(cl.Lit)
+			// The evaluator compares cl.Data against the hit span byte for
+			// byte (Exact) and assumes the span length equals the clause
+			// length everywhere — the reference literal must agree.
+			if len(cl.Data) == 0 || len(cl.Data) != len(p.Data) {
+				return nil, fmt.Errorf("rules: rule %d clause %d: clause/literal length mismatch (%d vs %d)", ri, ci, len(cl.Data), len(p.Data))
+			}
+			if cl.Nocase && (!p.Nocase || !bytes.Equal(cl.Data, p.Data)) {
+				return nil, fmt.Errorf("rules: rule %d clause %d: nocase clause does not match its literal", ri, ci)
+			}
+			if cl.Exact && !p.Nocase {
+				return nil, fmt.Errorf("rules: rule %d clause %d: exact re-verification against a case-sensitive literal", ri, ci)
+			}
+			for _, b := range []int64{cl.Offset, cl.Depth, cl.Distance, cl.Within} {
+				if b < 0 || b > 1<<30 {
+					return nil, fmt.Errorf("rules: rule %d clause %d: bound %d out of range", ri, ci, b)
+				}
+			}
+			r.Clauses = append(r.Clauses, cl)
+		}
+		if d.Bool() && d.Err() == nil {
+			prog, err := redfa.DecodeProg(d)
+			if err != nil {
+				return nil, fmt.Errorf("rules: rule %d: %w", ri, err)
+			}
+			r.Regex = prog
+		}
+		if d.Err() == nil {
+			s.Rules = append(s.Rules, r)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	s.buildPostings()
+	return s, nil
+}

@@ -1,0 +1,82 @@
+package redfa
+
+// Serialization of compiled regex programs into database sections.
+// Programs are encoded structurally — the NFA states, arcs, and start
+// index — not as source text, so loading a database never re-runs the
+// parser. Decoding is bounds-checked like every other dbfmt payload:
+// every state index is validated against the decoded state count, arc
+// ranges must be ordered, and no dangling (unpatched) arrow survives,
+// so a corrupted section errors instead of producing an automaton that
+// indexes out of range at scan time.
+
+import "vpatch/internal/dbfmt"
+
+// Encode appends the program to e (deterministically — equal programs
+// encode byte-identically).
+func (p *Prog) Encode(e *dbfmt.Encoder) {
+	e.Blob([]byte(p.src))
+	e.Blob([]byte(p.flags))
+	e.U32(uint32(p.start))
+	e.Uvarint(uint64(len(p.states)))
+	for i := range p.states {
+		st := &p.states[i]
+		e.Bool(st.accept)
+		e.Uvarint(uint64(len(st.arcs)))
+		for _, a := range st.arcs {
+			e.U8(a.lo)
+			e.U8(a.hi)
+		}
+		e.Uvarint(uint64(len(st.eps)))
+		for _, t := range st.eps {
+			e.U32(uint32(t))
+		}
+	}
+}
+
+// DecodeProg reads one program from d, validating every index.
+func DecodeProg(d *dbfmt.Decoder) (*Prog, error) {
+	p := &Prog{}
+	p.src = string(d.Blob())
+	p.flags = string(d.Blob())
+	start := int32(d.U32())
+	n := d.CountAtMost(maxNFAStates)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	p.states = make([]nstate, n)
+	for i := range p.states {
+		st := &p.states[i]
+		st.accept = d.Bool()
+		na := d.CountAtMost(256)
+		for j := 0; j < na; j++ {
+			lo, hi := d.U8(), d.U8()
+			if hi < lo {
+				d.Fail("regex arc range %d-%d out of order", lo, hi)
+			}
+			st.arcs = append(st.arcs, arc{lo: lo, hi: hi})
+		}
+		ne := d.CountAtMost(maxNFAStates)
+		for j := 0; j < ne; j++ {
+			t := int32(d.U32())
+			if t < 0 || int(t) >= n {
+				d.Fail("regex state target %d outside %d states", t, n)
+			}
+			st.eps = append(st.eps, t)
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if len(st.arcs) > 0 && len(st.eps) == 0 {
+			d.Fail("regex consuming state %d has no successor", i)
+		}
+	}
+	if start < 0 || int(start) >= n {
+		d.Fail("regex start state %d outside %d states", start, n)
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	p.start = start
+	p.buildClasses()
+	return p, nil
+}

@@ -1,0 +1,629 @@
+package redfa
+
+import (
+	"fmt"
+)
+
+// The regex subset the verifier compiles. It is byte-oriented (a class
+// matches bytes, not runes) and deliberately small — the verifier only
+// ever runs anchored at a literal-hit window, so the exotic PCRE
+// machinery (backreferences, lookaround, captures) that cannot be
+// compiled to a DFA is rejected at parse time, never emulated:
+//
+//	literal bytes            abc
+//	any byte                 .            (matches newline too: input is payload, not text)
+//	escapes                  \n \r \t \f \v \a \xHH \d \D \w \W \s \S and \<punct>
+//	classes                  [a-z0-9_] [^\r\n]
+//	alternation              a|b
+//	grouping                 (ab)+ (?:ab)+   (both are non-capturing)
+//	quantifiers              * + ? {n} {n,} {n,m}   (m capped at MaxRepeat)
+//	anchor                   ^ only as the first character (redundant: the
+//	                         verifier is always anchored); $ is rejected
+//
+// Flags (from the rule syntax's /expr/flags): `i` folds ASCII case into
+// every literal and class, `s` is accepted and ignored (dot already
+// matches any byte), `R` (Snort's relative flag) is accepted and
+// ignored (every verification is relative to its anchor). Anything
+// else is a parse error.
+
+// MaxRepeat bounds {n,m} counted repetition, so a hostile rule cannot
+// inflate the NFA quadratically.
+const MaxRepeat = 64
+
+// maxNFAStates bounds the compiled automaton size; Compile fails above
+// it rather than building an arbitrarily large program.
+const maxNFAStates = 4096
+
+// parser holds the recursive-descent state over the expression text.
+type parser struct {
+	src      string
+	pos      int
+	fold     bool // expand ASCII case in literals and classes
+	p        *Prog
+	lastAtom span // source range of the last atom, for {n,m} re-parsing
+}
+
+// frag is a partially built NFA fragment: a start state and a list of
+// dangling arrows (state indexes whose eps slot 1 is unfilled, encoded
+// as state index) waiting to be patched to the next fragment.
+type frag struct {
+	start int32
+	out   []int32 // states whose next-pointer patches to the following fragment
+}
+
+func (ps *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("redfa: pos %d: "+format, append([]any{ps.pos}, args...)...)
+}
+
+// newState appends an NFA state and returns its index.
+func (ps *parser) newState(st nstate) (int32, error) {
+	if len(ps.p.states) >= maxNFAStates {
+		return 0, fmt.Errorf("redfa: program exceeds %d states", maxNFAStates)
+	}
+	ps.p.states = append(ps.p.states, st)
+	return int32(len(ps.p.states) - 1), nil
+}
+
+// parse compiles the whole expression into ps.p.
+func (ps *parser) parse() error {
+	if len(ps.src) > 0 && ps.src[0] == '^' {
+		ps.pos++ // the verifier is anchored anyway
+	}
+	f, err := ps.alt()
+	if err != nil {
+		return err
+	}
+	if ps.pos != len(ps.src) {
+		return ps.errf("unexpected %q", ps.src[ps.pos])
+	}
+	acc, err := ps.newState(nstate{accept: true})
+	if err != nil {
+		return err
+	}
+	ps.patch(f.out, acc)
+	ps.p.start = f.start
+	return nil
+}
+
+// patch points every dangling arrow in out at target.
+func (ps *parser) patch(out []int32, target int32) {
+	for _, s := range out {
+		st := &ps.p.states[s]
+		for i, e := range st.eps {
+			if e == unpatched {
+				st.eps[i] = target
+				break
+			}
+		}
+	}
+}
+
+// alt = concat ('|' concat)*
+func (ps *parser) alt() (frag, error) {
+	f, err := ps.concat()
+	if err != nil {
+		return frag{}, err
+	}
+	for ps.pos < len(ps.src) && ps.src[ps.pos] == '|' {
+		ps.pos++
+		g, err := ps.concat()
+		if err != nil {
+			return frag{}, err
+		}
+		split, err := ps.newState(nstate{eps: []int32{f.start, g.start}})
+		if err != nil {
+			return frag{}, err
+		}
+		f = frag{start: split, out: append(f.out, g.out...)}
+	}
+	return f, nil
+}
+
+// concat = repeat*
+func (ps *parser) concat() (frag, error) {
+	var f *frag
+	for ps.pos < len(ps.src) {
+		c := ps.src[ps.pos]
+		if c == '|' || c == ')' {
+			break
+		}
+		g, err := ps.repeat()
+		if err != nil {
+			return frag{}, err
+		}
+		if f == nil {
+			f = &g
+		} else {
+			ps.patch(f.out, g.start)
+			f.out = g.out
+		}
+	}
+	if f == nil {
+		// Empty expression (or empty alternative): one epsilon pass-through.
+		s, err := ps.newState(nstate{eps: []int32{unpatched}})
+		if err != nil {
+			return frag{}, err
+		}
+		return frag{start: s, out: []int32{s}}, nil
+	}
+	return *f, nil
+}
+
+// repeat = atom ('*' | '+' | '?' | '{n,m}')?
+func (ps *parser) repeat() (frag, error) {
+	f, err := ps.atom()
+	if err != nil {
+		return frag{}, err
+	}
+	if ps.pos >= len(ps.src) {
+		return f, nil
+	}
+	switch ps.src[ps.pos] {
+	case '*':
+		ps.pos++
+		return ps.star(f)
+	case '+':
+		ps.pos++
+		// a+ = a a*
+		g, err := ps.star(f)
+		if err != nil {
+			return frag{}, err
+		}
+		return frag{start: f.start, out: g.out}, nil
+	case '?':
+		ps.pos++
+		return ps.opt(f)
+	case '{':
+		return ps.counted(f)
+	}
+	return f, nil
+}
+
+// star wraps f in a zero-or-more loop.
+func (ps *parser) star(f frag) (frag, error) {
+	split, err := ps.newState(nstate{eps: []int32{f.start, unpatched}})
+	if err != nil {
+		return frag{}, err
+	}
+	ps.patch(f.out, split)
+	return frag{start: split, out: []int32{split}}, nil
+}
+
+// opt makes f optional.
+func (ps *parser) opt(f frag) (frag, error) {
+	split, err := ps.newState(nstate{eps: []int32{f.start, unpatched}})
+	if err != nil {
+		return frag{}, err
+	}
+	return frag{start: split, out: append(f.out, split)}, nil
+}
+
+// counted expands a{n,m} by re-parsing the atom's source text n..m
+// times. Repetition counts are capped by MaxRepeat.
+func (ps *parser) counted(f frag) (frag, error) {
+	// The atom just parsed spans [atomStart, '{'), but fragments are not
+	// trivially cloneable (the dangling lists alias states), so counted
+	// repetition re-parses the source span. Find it by scanning back is
+	// fragile; instead repeat() records it — see atomSpan.
+	lo, hi, err := ps.parseBounds()
+	if err != nil {
+		return frag{}, err
+	}
+	span := ps.lastAtom
+	if span.from >= span.to {
+		return frag{}, ps.errf("nothing to repeat")
+	}
+	// Build: atom{lo} then (atom?){hi-lo}, or atom{lo} atom* for open m.
+	build := func() (frag, error) {
+		sub := &parser{src: ps.src[span.from:span.to], fold: ps.fold, p: ps.p}
+		g, err := sub.alt()
+		if err != nil {
+			return frag{}, err
+		}
+		if sub.pos != len(sub.src) {
+			return frag{}, ps.errf("bad repetition atom")
+		}
+		return g, nil
+	}
+	cur := f
+	// f is the first copy; chain lo-1 more mandatory copies.
+	for i := 1; i < lo; i++ {
+		g, err := build()
+		if err != nil {
+			return frag{}, err
+		}
+		ps.patch(cur.out, g.start)
+		cur = frag{start: cur.start, out: g.out}
+	}
+	if lo == 0 {
+		if hi < 0 {
+			return ps.star(f) // {0,} = *
+		}
+		if hi == 0 {
+			// a{0} matches the empty string only; the parsed fragment is
+			// discarded (its states stay allocated but unreachable). Its
+			// dangling outs still need a target: the serializer rejects
+			// unpatched transitions even in unreachable states.
+			s, err := ps.newState(nstate{eps: []int32{unpatched}})
+			if err != nil {
+				return frag{}, err
+			}
+			ps.patch(f.out, s)
+			return frag{start: s, out: []int32{s}}, nil
+		}
+		o, err := ps.opt(f)
+		if err != nil {
+			return frag{}, err
+		}
+		cur = o
+		lo = 1 // first copy placed (optional); remaining copies below
+	}
+	if hi < 0 {
+		g, err := build()
+		if err != nil {
+			return frag{}, err
+		}
+		s, err := ps.star(g)
+		if err != nil {
+			return frag{}, err
+		}
+		ps.patch(cur.out, s.start)
+		return frag{start: cur.start, out: s.out}, nil
+	}
+	for i := lo; i < hi; i++ {
+		g, err := build()
+		if err != nil {
+			return frag{}, err
+		}
+		o, err := ps.opt(g)
+		if err != nil {
+			return frag{}, err
+		}
+		ps.patch(cur.out, o.start)
+		cur = frag{start: cur.start, out: o.out}
+	}
+	return cur, nil
+}
+
+// parseBounds reads {n}, {n,}, or {n,m} starting at '{'.
+func (ps *parser) parseBounds() (lo, hi int, err error) {
+	ps.pos++ // '{'
+	lo, ok := ps.number()
+	if !ok {
+		return 0, 0, ps.errf("bad repetition count")
+	}
+	hi = lo
+	if ps.pos < len(ps.src) && ps.src[ps.pos] == ',' {
+		ps.pos++
+		if ps.pos < len(ps.src) && ps.src[ps.pos] == '}' {
+			hi = -1
+		} else if hi, ok = ps.number(); !ok {
+			return 0, 0, ps.errf("bad repetition bound")
+		}
+	}
+	if ps.pos >= len(ps.src) || ps.src[ps.pos] != '}' {
+		return 0, 0, ps.errf("unterminated repetition")
+	}
+	ps.pos++
+	if lo > MaxRepeat || hi > MaxRepeat {
+		return 0, 0, fmt.Errorf("redfa: repetition exceeds {%d}", MaxRepeat)
+	}
+	if hi >= 0 && hi < lo {
+		return 0, 0, ps.errf("repetition bounds out of order")
+	}
+	return lo, hi, nil
+}
+
+func (ps *parser) number() (int, bool) {
+	start := ps.pos
+	n := 0
+	for ps.pos < len(ps.src) && ps.src[ps.pos] >= '0' && ps.src[ps.pos] <= '9' {
+		n = n*10 + int(ps.src[ps.pos]-'0')
+		if n > 1<<20 {
+			return 0, false
+		}
+		ps.pos++
+	}
+	return n, ps.pos > start
+}
+
+// span marks a source range (for counted-repetition re-parsing).
+type span struct{ from, to int }
+
+// atom = '(' alt ')' | '(?:' alt ')' | class | '.' | escape | literal
+func (ps *parser) atom() (frag, error) {
+	from := ps.pos
+	f, err := ps.atomInner()
+	if err != nil {
+		return frag{}, err
+	}
+	ps.lastAtom = span{from: from, to: ps.pos}
+	return f, nil
+}
+
+func (ps *parser) atomInner() (frag, error) {
+	if ps.pos >= len(ps.src) {
+		return frag{}, ps.errf("unexpected end of expression")
+	}
+	c := ps.src[ps.pos]
+	switch c {
+	case '(':
+		ps.pos++
+		if ps.pos+1 < len(ps.src) && ps.src[ps.pos] == '?' {
+			if ps.src[ps.pos+1] != ':' {
+				return frag{}, ps.errf("unsupported (?%c...) group", ps.src[ps.pos+1])
+			}
+			ps.pos += 2
+		}
+		f, err := ps.alt()
+		if err != nil {
+			return frag{}, err
+		}
+		if ps.pos >= len(ps.src) || ps.src[ps.pos] != ')' {
+			return frag{}, ps.errf("unterminated group")
+		}
+		ps.pos++
+		return f, nil
+	case ')':
+		return frag{}, ps.errf("unmatched )")
+	case '[':
+		set, err := ps.class()
+		if err != nil {
+			return frag{}, err
+		}
+		return ps.classFrag(set)
+	case '.':
+		ps.pos++
+		var set byteSet
+		set.addRange(0, 0xFF)
+		return ps.classFrag(set)
+	case '^', '$':
+		return frag{}, ps.errf("anchor %q only allowed at the start", c)
+	case '*', '+', '?':
+		return frag{}, ps.errf("nothing to repeat before %q", c)
+	case '{':
+		return frag{}, ps.errf("repetition without atom")
+	case '\\':
+		set, lit, err := ps.escape()
+		if err != nil {
+			return frag{}, err
+		}
+		if lit >= 0 {
+			return ps.literalFrag(byte(lit))
+		}
+		return ps.classFrag(set)
+	default:
+		ps.pos++
+		return ps.literalFrag(c)
+	}
+}
+
+// literalFrag builds a single-byte consuming state (folded when /i).
+func (ps *parser) literalFrag(b byte) (frag, error) {
+	var set byteSet
+	set.add(b)
+	if ps.fold {
+		set.fold()
+	}
+	return ps.classFrag(set)
+}
+
+// classFrag builds one consuming state over the byte set.
+func (ps *parser) classFrag(set byteSet) (frag, error) {
+	s, err := ps.newState(nstate{arcs: set.ranges(), eps: []int32{unpatched}})
+	if err != nil {
+		return frag{}, err
+	}
+	return frag{start: s, out: []int32{s}}, nil
+}
+
+// class parses [...] starting at '['.
+func (ps *parser) class() (byteSet, error) {
+	var set byteSet
+	ps.pos++ // '['
+	negate := false
+	if ps.pos < len(ps.src) && ps.src[ps.pos] == '^' {
+		negate = true
+		ps.pos++
+	}
+	first := true
+	for {
+		if ps.pos >= len(ps.src) {
+			return set, ps.errf("unterminated class")
+		}
+		c := ps.src[ps.pos]
+		if c == ']' && !first {
+			ps.pos++
+			break
+		}
+		first = false
+		var lo byte
+		switch c {
+		case '\\':
+			sub, lit, err := ps.escape()
+			if err != nil {
+				return set, err
+			}
+			if lit < 0 {
+				set.or(sub)
+				continue
+			}
+			lo = byte(lit)
+		default:
+			ps.pos++
+			lo = c
+		}
+		// Range lo-hi?
+		if ps.pos+1 < len(ps.src) && ps.src[ps.pos] == '-' && ps.src[ps.pos+1] != ']' {
+			ps.pos++
+			hc := ps.src[ps.pos]
+			var hi byte
+			if hc == '\\' {
+				_, lit, err := ps.escape()
+				if err != nil {
+					return set, err
+				}
+				if lit < 0 {
+					return set, ps.errf("class escape cannot end a range")
+				}
+				hi = byte(lit)
+			} else {
+				ps.pos++
+				hi = hc
+			}
+			if hi < lo {
+				return set, ps.errf("class range out of order")
+			}
+			set.addRange(lo, hi)
+		} else {
+			set.add(lo)
+		}
+	}
+	if ps.fold {
+		set.fold()
+	}
+	if negate {
+		set.negate()
+	}
+	return set, nil
+}
+
+// escape parses one backslash escape starting at '\\'. It returns
+// either a literal byte (lit >= 0) or a predefined class (lit < 0).
+func (ps *parser) escape() (byteSet, int, error) {
+	var set byteSet
+	ps.pos++ // '\\'
+	if ps.pos >= len(ps.src) {
+		return set, 0, ps.errf("dangling escape")
+	}
+	c := ps.src[ps.pos]
+	ps.pos++
+	switch c {
+	case 'n':
+		return set, '\n', nil
+	case 'r':
+		return set, '\r', nil
+	case 't':
+		return set, '\t', nil
+	case 'f':
+		return set, '\f', nil
+	case 'v':
+		return set, '\v', nil
+	case 'a':
+		return set, 7, nil
+	case '0':
+		return set, 0, nil
+	case 'x':
+		if ps.pos+1 >= len(ps.src) {
+			return set, 0, ps.errf("truncated \\x escape")
+		}
+		h1, ok1 := hexVal(ps.src[ps.pos])
+		h2, ok2 := hexVal(ps.src[ps.pos+1])
+		if !ok1 || !ok2 {
+			return set, 0, ps.errf("bad \\x escape")
+		}
+		ps.pos += 2
+		return set, int(h1<<4 | h2), nil
+	case 'd':
+		set.addRange('0', '9')
+		return set, -1, nil
+	case 'D':
+		set.addRange('0', '9')
+		set.negate()
+		return set, -1, nil
+	case 'w':
+		set.addRange('a', 'z')
+		set.addRange('A', 'Z')
+		set.addRange('0', '9')
+		set.add('_')
+		return set, -1, nil
+	case 'W':
+		set.addRange('a', 'z')
+		set.addRange('A', 'Z')
+		set.addRange('0', '9')
+		set.add('_')
+		set.negate()
+		return set, -1, nil
+	case 's':
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+			set.add(b)
+		}
+		return set, -1, nil
+	case 'S':
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+			set.add(b)
+		}
+		set.negate()
+		return set, -1, nil
+	}
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+		return set, 0, ps.errf("unknown escape \\%c", c)
+	}
+	return set, int(c), nil // escaped punctuation is the literal byte
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// byteSet is a 256-bit set of bytes.
+type byteSet [4]uint64
+
+func (s *byteSet) add(b byte)      { s[b>>6] |= 1 << (b & 63) }
+func (s *byteSet) has(b byte) bool { return s[b>>6]&(1<<(b&63)) != 0 }
+
+func (s *byteSet) addRange(lo, hi byte) {
+	for c := int(lo); c <= int(hi); c++ {
+		s.add(byte(c))
+	}
+}
+
+func (s *byteSet) or(o byteSet) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+func (s *byteSet) negate() {
+	for i := range s {
+		s[i] = ^s[i]
+	}
+}
+
+// fold adds the opposite ASCII case of every letter in the set.
+func (s *byteSet) fold() {
+	for c := byte('a'); c <= 'z'; c++ {
+		if s.has(c) {
+			s.add(c - 32)
+		}
+		if s.has(c - 32) {
+			s.add(c)
+		}
+	}
+}
+
+// ranges converts the set to sorted, coalesced [lo,hi] arcs.
+func (s *byteSet) ranges() []arc {
+	var out []arc
+	c := 0
+	for c < 256 {
+		if !s.has(byte(c)) {
+			c++
+			continue
+		}
+		lo := c
+		for c < 256 && s.has(byte(c)) {
+			c++
+		}
+		out = append(out, arc{lo: byte(lo), hi: byte(c - 1)})
+	}
+	return out
+}

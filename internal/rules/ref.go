@@ -1,0 +1,132 @@
+package rules
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+
+	"vpatch/internal/patterns"
+	"vpatch/internal/rules/redfa"
+)
+
+// The naive reference evaluator: the executable specification the
+// streaming evaluator is property-tested against. It sees the flow's
+// fully reassembled stream at once and does everything the slow,
+// obvious way — a scalar scan for every clause occurrence, a direct
+// walk over the clause chain, and Go's regexp package for the regex
+// tail (anchored as `^(?:expr)` on the window slice, the mapping the
+// redfa cross-check tests established). No prefilter, no incremental
+// state, no pruning.
+
+// RefAlert is one alert from the reference evaluator.
+type RefAlert struct {
+	Rule      int32
+	StreamOff int64
+}
+
+// RefEval evaluates every applicable rule of set over one flow's full
+// reassembled stream. Alerts are returned in rule-ID order, one per
+// rule at most, with the same stream offset the streaming evaluator
+// must report: the final-clause match start of the first (lowest
+// anchor) completion whose regex tail verifies.
+func RefEval(set *Set, stream []byte, proto patterns.Protocol) []RefAlert {
+	var out []RefAlert
+	folded := patterns.Fold(stream)
+	for ri := range set.Rules {
+		r := &set.Rules[ri]
+		if r.Proto != patterns.ProtoGeneric && r.Proto != proto {
+			continue
+		}
+		if off, ok := refRule(set, r, stream, folded); ok {
+			out = append(out, RefAlert{Rule: r.ID, StreamOff: off})
+		}
+	}
+	return out
+}
+
+// refRule evaluates one rule, returning the alert offset if it fires.
+func refRule(set *Set, r *Rule, stream, folded []byte) (int64, bool) {
+	var prevEnds []int64
+	var finals [][2]int64
+	last := len(r.Clauses) - 1
+	for k := range r.Clauses {
+		cl := &r.Clauses[k]
+		var ends []int64
+		for _, se := range refOccurrences(cl, stream, folded) {
+			s, e := se[0], se[1]
+			if k == 0 {
+				if s < cl.Offset {
+					continue
+				}
+				if cl.HasDepth && e > cl.Offset+cl.Depth {
+					continue
+				}
+			} else {
+				ok := false
+				for _, p := range prevEnds {
+					if p <= s-cl.Distance && (!cl.HasWithin || e <= p+cl.Within) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+			}
+			if k == last {
+				finals = append(finals, se)
+			} else {
+				ends = append(ends, e)
+			}
+		}
+		prevEnds = ends
+	}
+	if len(finals) == 0 {
+		return 0, false
+	}
+	if r.Regex == nil {
+		return finals[0][0], true
+	}
+	re := refRegexp(r.Regex)
+	for _, se := range finals {
+		e := se[1]
+		wend := e + set.Window
+		if wend > int64(len(stream)) {
+			wend = int64(len(stream))
+		}
+		if re.Match(stream[e:wend]) {
+			return se[0], true
+		}
+	}
+	return 0, false
+}
+
+// refOccurrences lists every (possibly overlapping) occurrence of a
+// clause's content in the stream, as (start, end) offset pairs in
+// ascending order.
+func refOccurrences(cl *Clause, stream, folded []byte) [][2]int64 {
+	hay := stream
+	if cl.Nocase {
+		hay = folded // cl.Data is stored folded
+	}
+	var out [][2]int64
+	n := len(cl.Data)
+	for i := 0; i+n <= len(hay); i++ {
+		if bytes.Equal(hay[i:i+n], cl.Data) {
+			out = append(out, [2]int64{int64(i), int64(i + n)})
+		}
+	}
+	return out
+}
+
+// refRegexp maps a redfa program onto Go's regexp engine: anchored at
+// the window start, (?s) because redfa's `.` matches any byte, (?i)
+// when the /i flag was given. Agreement holds on ASCII streams (Go
+// regexp is rune-based); the redfa cross-check tests pin this mapping.
+func refRegexp(p *redfa.Prog) *regexp.Regexp {
+	mode := "(?s)"
+	if strings.ContainsRune(p.Flags(), 'i') {
+		mode = "(?is)"
+	}
+	return regexp.MustCompile(mode + "^(?:" + p.Source() + ")")
+}

@@ -1,0 +1,250 @@
+package serve
+
+// The alert stream: every flow alert any tenant's pipeline emits is
+// resolved to a wire record (rule sid/msg for rule-conditioned
+// databases, pattern id otherwise), kept in a bounded replay ring, and
+// fanned out to followers — GET /v1/alerts streams them as JSON lines,
+// and embedding programs (vpatch-serve's -alerts-out sink) subscribe
+// with SubscribeAlerts. Publishing never blocks the data path: slow
+// followers lose records (counted, exported on /metrics) instead of
+// stalling worker goroutines.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"vpatch/ids"
+)
+
+// AlertRecord is the JSONL alert shape of GET /v1/alerts and the
+// -alerts-out sinks: vpatch-ids's record plus tenant, generation and a
+// monotone sequence number (gaps mean records were dropped on a slow
+// follower).
+type AlertRecord struct {
+	Seq        uint64 `json:"seq"`
+	Tenant     string `json:"tenant"`
+	Generation uint64 `json:"generation"`
+	SID        int64  `json:"sid,omitempty"`
+	Msg        string `json:"msg,omitempty"`
+	Rule       int32  `json:"rule"`
+	Pattern    int32  `json:"pattern"`
+	Proto      string `json:"proto"`
+	SrcIP      string `json:"src_ip"`
+	SrcPort    uint16 `json:"src_port"`
+	DstIP      string `json:"dst_ip"`
+	DstPort    uint16 `json:"dst_port"`
+	StreamOff  int64  `json:"stream_off"`
+}
+
+// alertRingSize bounds the replay buffer (the last N alerts a plain
+// GET /v1/alerts returns); subChanBuf bounds each follower's queue.
+const (
+	alertRingSize = 1024
+	subChanBuf    = 256
+)
+
+// alertHub is the fan-out point between tenant pipelines (publishers)
+// and followers.
+type alertHub struct {
+	mu   sync.Mutex
+	ring [alertRingSize]AlertRecord
+	n    int    // valid records in ring (≤ alertRingSize)
+	next uint64 // sequence number of the next record
+	subs map[chan AlertRecord]struct{}
+	lost uint64 // records dropped on slow followers
+}
+
+func newAlertHub() *alertHub {
+	return &alertHub{subs: make(map[chan AlertRecord]struct{})}
+}
+
+// publish stamps the record's sequence number, buffers it for replay,
+// and offers it to every follower without blocking.
+func (h *alertHub) publish(rec AlertRecord) {
+	h.mu.Lock()
+	rec.Seq = h.next
+	h.ring[h.next%alertRingSize] = rec
+	h.next++
+	if h.n < alertRingSize {
+		h.n++
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- rec:
+		default:
+			h.lost++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// subscribe registers a follower and returns its channel plus a replay
+// of the buffered records (oldest first). The caller must unsubscribe.
+func (h *alertHub) subscribe() (chan AlertRecord, []AlertRecord) {
+	ch := make(chan AlertRecord, subChanBuf)
+	h.mu.Lock()
+	replay := h.buffered()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, replay
+}
+
+func (h *alertHub) unsubscribe(ch chan AlertRecord) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+	// Drain so a publisher that won the race into the buffer never
+	// matters; the channel is garbage once unregistered.
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+// buffered returns the replayable records oldest-first. Caller holds mu.
+func (h *alertHub) buffered() []AlertRecord {
+	out := make([]AlertRecord, 0, h.n)
+	for i := h.next - uint64(h.n); i < h.next; i++ {
+		out = append(out, h.ring[i%alertRingSize])
+	}
+	return out
+}
+
+func (h *alertHub) stats() (buffered int, subs int, lost uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n, len(h.subs), h.lost
+}
+
+// SubscribeAlerts registers a follower of the server's alert stream:
+// the returned channel first receives nothing (no replay — callers
+// wanting history use /v1/alerts) and then every subsequent alert from
+// any tenant. Slow consumers lose records rather than stalling the
+// pipelines. The cancel function must be called to unregister.
+func (s *Server) SubscribeAlerts() (<-chan AlertRecord, func()) {
+	ch := make(chan AlertRecord, subChanBuf)
+	s.alertHub.mu.Lock()
+	s.alertHub.subs[ch] = struct{}{}
+	s.alertHub.mu.Unlock()
+	return ch, func() { s.alertHub.unsubscribe(ch) }
+}
+
+// alertRecord resolves a pipeline alert against the generation's
+// engine: rule alerts carry the rule's sid and msg, literal alerts the
+// pattern id.
+func alertRecord(tenant string, gen uint64, eng *ids.Engine, a ids.Alert) AlertRecord {
+	rec := AlertRecord{
+		Tenant: tenant, Generation: gen,
+		Rule: a.RuleID, Pattern: a.PatternID, Proto: "tcp",
+		SrcIP: ip4String(a.Flow.SrcIP), SrcPort: a.Flow.SrcPort,
+		DstIP: ip4String(a.Flow.DstIP), DstPort: a.Flow.DstPort,
+		StreamOff: a.StreamOffset,
+	}
+	if rset := eng.Rules(); rset != nil && a.RuleID >= 0 {
+		r := &rset.Rules[a.RuleID]
+		rec.SID, rec.Msg = r.SID, r.Msg
+	}
+	return rec
+}
+
+func ip4String(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// handleAlerts serves GET /v1/alerts: the buffered recent alerts as
+// JSON lines, optionally filtered with ?tenant=; ?limit=N keeps only
+// the newest N. With ?follow=1 the response does not end: buffered
+// records replay first, then live alerts stream as they happen until
+// the client disconnects or the daemon drains.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	limit := -1
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		limit = n
+	}
+	follow := r.URL.Query().Get("follow") == "1"
+
+	match := func(rec AlertRecord) bool {
+		return tenant == "" || rec.Tenant == tenant
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	write := func(rec AlertRecord) bool { return enc.Encode(rec) == nil }
+
+	if !follow {
+		s.alertHub.mu.Lock()
+		replay := s.alertHub.buffered()
+		s.alertHub.mu.Unlock()
+		replay = filterAlerts(replay, match, limit)
+		for _, rec := range replay {
+			if !write(rec) {
+				return
+			}
+		}
+		return
+	}
+
+	fl, _ := w.(http.Flusher)
+	ch, replay := s.alertHub.subscribe()
+	defer s.alertHub.unsubscribe(ch)
+	replay = filterAlerts(replay, match, limit)
+	for _, rec := range replay {
+		if !write(rec) {
+			return
+		}
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.drainCh:
+			return
+		case rec := <-ch:
+			// Replayed records may race into the subscription; the
+			// sequence numbers keep the stream deduplicatable, but skip
+			// the easy case where the overlap is still in order.
+			if len(replay) > 0 && rec.Seq <= replay[len(replay)-1].Seq {
+				continue
+			}
+			if !match(rec) {
+				continue
+			}
+			if !write(rec) {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+}
+
+// filterAlerts keeps the matching records and then only the newest
+// limit of them (limit < 0 = unlimited).
+func filterAlerts(recs []AlertRecord, match func(AlertRecord) bool, limit int) []AlertRecord {
+	out := recs[:0]
+	for _, rec := range recs {
+		if match(rec) {
+			out = append(out, rec)
+		}
+	}
+	if limit >= 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}

@@ -13,6 +13,8 @@
 //	GET  /v1/tenants[/{id}]           list tenants / tenant detail
 //	POST /v1/tenants/{id}/rules       load a compiled .vpdb database, hot-swapping atomically
 //	DELETE /v1/tenants/{id}           drain and remove a tenant
+//	GET  /v1/alerts                   recent alerts as JSON lines (?tenant= filters,
+//	                                  ?limit=N keeps the newest N, ?follow=1 streams live)
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /healthz                     liveness (always 200 while the process serves)
 //	GET  /readyz                      readiness (503 while empty or draining)
@@ -73,8 +75,14 @@ type Server struct {
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
 
-	draining atomic.Bool
-	ingestWG sync.WaitGroup // live raw-TCP ingest connections
+	draining  atomic.Bool
+	drainCh   chan struct{} // closed on the first Drain; ends /v1/alerts followers
+	drainOnce sync.Once
+	ingestWG  sync.WaitGroup // live raw-TCP ingest connections
+
+	// alertHub fans every tenant's flow alerts out to /v1/alerts
+	// followers and SubscribeAlerts sinks.
+	alertHub *alertHub
 
 	httpStats map[string]*handlerStats
 }
@@ -88,7 +96,7 @@ type handlerStats struct {
 }
 
 var handlerNames = []string{
-	"scan", "stream", "rules", "tenants", "metrics", "healthz", "readyz", "drain",
+	"scan", "stream", "rules", "tenants", "alerts", "metrics", "healthz", "readyz", "drain",
 }
 
 // New returns an empty server (no tenants). Callers typically create
@@ -111,6 +119,8 @@ func New(cfg Config) *Server {
 		start:     time.Now(),
 		arena:     arena.Shared(),
 		tenants:   make(map[string]*Tenant),
+		drainCh:   make(chan struct{}),
+		alertHub:  newAlertHub(),
 		httpStats: make(map[string]*handlerStats, len(handlerNames)),
 	}
 	for _, h := range handlerNames {
@@ -211,6 +221,7 @@ type TenantDrain struct {
 // wait forever). Idempotent in effect; every call re-reports.
 func (s *Server) Drain(timeout time.Duration) DrainReport {
 	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	var deadline chan struct{}
 	if timeout > 0 {
 		deadline = make(chan struct{})
@@ -271,6 +282,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards streaming support (the /v1/alerts follow mode) through
+// the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // route resolves a request to (instrumentation name, handler).
 func (s *Server) route(r *http.Request) (string, http.HandlerFunc) {
 	path := r.URL.Path
@@ -289,6 +308,8 @@ func (s *Server) route(r *http.Request) (string, http.HandlerFunc) {
 		return "stream", requireMethod(http.MethodPost, s.gated(s.handleStream))
 	case "/v1/tenants":
 		return "tenants", requireMethod(http.MethodGet, s.handleTenantList)
+	case "/v1/alerts":
+		return "alerts", requireMethod(http.MethodGet, s.handleAlerts)
 	}
 	if rest, ok := strings.CutPrefix(path, "/v1/tenants/"); ok {
 		if name, ok := strings.CutSuffix(rest, "/rules"); ok {
@@ -656,6 +677,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("vpatch_batch_iters_total", "Batched (lane-per-packet) filtering steps.",
 		func(i int) float64 { return float64(scans[i].BatchIters) })
 
+	// Rule tier (rule-conditioned databases only; zero otherwise).
+	counter("vpatch_rule_alerts_total", "Completed rule alerts (all clauses satisfied, regex verified).",
+		func(i int) float64 { return float64(scans[i].RuleAlerts) })
+	counter("vpatch_verifier_runs_total", "Regex verifier invocations at literal-hit anchors.",
+		func(i int) float64 { return float64(scans[i].VerifierRuns) })
+	counter("vpatch_verifier_states_total", "Lazy-DFA states built across verifier runs.",
+		func(i int) float64 { return float64(scans[i].VerifierStates) })
+
 	// Acceleration counters.
 	counter("vpatch_accel_skipped_bytes_total", "Input bytes cleared by the skip-loop accelerator without probing.",
 		func(i int) float64 { return float64(scans[i].SkippedBytes) })
@@ -715,6 +744,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	promSample(&b, "vpatch_arena_pooled_bytes", "", float64(ast.PooledBytes))
 	promFamily(&b, "vpatch_arena_overflow_total", "counter", "Arena rents served by one-shot heap allocations (pool cap exceeded).")
 	promSample(&b, "vpatch_arena_overflow_total", "", float64(ast.Overflows))
+
+	// Alert stream.
+	abuf, asubs, alost := s.alertHub.stats()
+	promFamily(&b, "vpatch_alert_stream_buffered", "gauge", "Alerts held in the /v1/alerts replay ring.")
+	promSample(&b, "vpatch_alert_stream_buffered", "", float64(abuf))
+	promFamily(&b, "vpatch_alert_stream_subscribers", "gauge", "Live alert-stream followers.")
+	promSample(&b, "vpatch_alert_stream_subscribers", "", float64(asubs))
+	promFamily(&b, "vpatch_alert_stream_dropped_total", "counter", "Alert records dropped on slow followers.")
+	promSample(&b, "vpatch_alert_stream_dropped_total", "", float64(alost))
 
 	// Process-level state.
 	promFamily(&b, "vpatch_draining", "gauge", "1 while the daemon is draining.")

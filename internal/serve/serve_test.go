@@ -589,3 +589,144 @@ func promValue(text, series string) (float64, bool) {
 	}
 	return 0, false
 }
+
+// ruleSemBlob compiles Snort-lite rule lines with full rule semantics
+// into a serialized .vpdb blob.
+func ruleSemBlob(t testing.TB, ruleText string) []byte {
+	t.Helper()
+	rset, err := vpatch.ParseRuleSet(strings.NewReader(ruleText), vpatch.RuleParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ids.NewRuleEngine(rset, vpatch.Options{}, func(ids.Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := eng.WriteDB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAlertStream exercises the rule tier end to end over the daemon:
+// a rule-conditioned database hot-loads, a matching flow streams in,
+// and the alert surfaces on GET /v1/alerts (buffered and follow=1)
+// with rule identity and on /metrics via the verifier counters.
+func TestAlertStream(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	db := ruleSemBlob(t, `alert tcp any any -> any 80 (msg:"admin token"; `+
+		`content:"admin"; nocase; content:"token="; distance:0; within:200; `+
+		`pcre:"/[a-f0-9]{8}/"; sid:1001;)`+"\n")
+	resp, body := postBytes(t, ts.URL+"/v1/tenants/default/rules", db)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rules upload: %d %s", resp.StatusCode, body)
+	}
+	var up struct {
+		Rules int `json:"rules"`
+	}
+	if err := json.Unmarshal(body, &up); err != nil || up.Rules != 1 {
+		t.Fatalf("rules upload reply %s: want rules=1", body)
+	}
+
+	// A live follower opened before any alert exists.
+	fresp, err := http.Get(ts.URL + "/v1/alerts?follow=1&tenant=default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	type lineOrErr struct {
+		rec AlertRecord
+		err error
+	}
+	lines := make(chan lineOrErr, 16)
+	go func() {
+		dec := json.NewDecoder(fresp.Body)
+		for {
+			var rec AlertRecord
+			if err := dec.Decode(&rec); err != nil {
+				lines <- lineOrErr{err: err}
+				return
+			}
+			lines <- lineOrErr{rec: rec}
+		}
+	}()
+
+	k := netsim.FlowKey{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 40001, DstPort: 80}
+	segs := flowSegments(k, []byte("GET /aDmIn HTTP/1.1\r\nCookie: token=deadbeef\r\n\r\n"))
+	resp, body = postBytes(t, ts.URL+"/v1/stream?flush=1", EncodeSegments(segs))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %d %s", resp.StatusCode, body)
+	}
+	var str streamResponse
+	if err := json.Unmarshal(body, &str); err != nil || str.AlertsTotal != 1 {
+		t.Fatalf("stream reply %s: want alerts_total=1", body)
+	}
+
+	checkRec := func(rec AlertRecord) {
+		t.Helper()
+		if rec.Tenant != "default" || rec.SID != 1001 || rec.Msg != "admin token" ||
+			rec.Rule != 0 || rec.Pattern != -1 ||
+			rec.SrcIP != "10.0.0.1" || rec.DstPort != 80 {
+			t.Fatalf("alert record %+v: wrong identity", rec)
+		}
+	}
+	select {
+	case l := <-lines:
+		if l.err != nil {
+			t.Fatalf("follow stream: %v", l.err)
+		}
+		checkRec(l.rec)
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow stream: no alert within 5s")
+	}
+
+	// The buffered (non-follow) view replays the same record.
+	resp, body = func() (*http.Response, []byte) {
+		r, err := http.Get(ts.URL + "/v1/alerts?tenant=default&limit=10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return r, b
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alerts: %d %s", resp.StatusCode, body)
+	}
+	var recs []AlertRecord
+	dec := json.NewDecoder(bytes.NewReader(body))
+	for dec.More() {
+		var rec AlertRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("alerts body %q: %v", body, err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("buffered alerts: got %d records, want 1 (%s)", len(recs), body)
+	}
+	checkRec(recs[0])
+
+	// Verifier counters surface on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mbody)
+	checkPromText(t, text)
+	for series, min := range map[string]float64{
+		`vpatch_rule_alerts_total{tenant="default"}`:   1,
+		`vpatch_verifier_runs_total{tenant="default"}`: 1,
+		`vpatch_alert_stream_subscribers`:              1,
+	} {
+		if v, ok := promValue(text, series); !ok || v < min {
+			t.Errorf("metrics: %s = %v (present %v), want >= %v", series, v, ok, min)
+		}
+	}
+}

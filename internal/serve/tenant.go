@@ -175,7 +175,7 @@ func (t *Tenant) Reload(db []byte) (uint64, error) {
 	gen := t.lastGen.Add(1)
 	g := &generation{gen: gen, t: t, eng: eng, drained: make(chan struct{})}
 	g.refs.Store(1)
-	g.disp = eng.NewDispatcher(t.cfg.Shards, t.cfg.limits(), func(a ids.Alert) { t.onAlert(gen, a) })
+	g.disp = eng.NewDispatcher(t.cfg.Shards, t.cfg.limits(), func(a ids.Alert) { t.onAlert(gen, eng, a) })
 	g.obs = g.disp.Observe()
 
 	t.obsMu.Lock()
@@ -238,12 +238,18 @@ func (g *generation) finalize() {
 }
 
 // onAlert is the tenant's alert sink, called concurrently from the
-// dispatcher's worker goroutines.
-func (t *Tenant) onAlert(gen uint64, a ids.Alert) {
+// dispatcher's worker goroutines. Rule-conditioned databases tally per
+// rule; literal databases per pattern.
+func (t *Tenant) onAlert(gen uint64, eng *ids.Engine, a ids.Alert) {
 	t.alerts.Add(1)
+	id := a.PatternID
+	if a.RuleID >= 0 {
+		id = a.RuleID
+	}
 	t.ruleMu.Lock()
-	t.perRule[a.PatternID]++
+	t.perRule[id]++
 	t.ruleMu.Unlock()
+	t.srv.alertHub.publish(alertRecord(t.name, gen, eng, a))
 	if fn := t.srv.cfg.OnAlert; fn != nil {
 		fn(t.name, gen, a)
 	}
@@ -302,7 +308,11 @@ func (t *Tenant) generationInfo() (gen uint64, rules int, algo string, age float
 	}
 	defer g.release()
 	age = time.Since(time.Unix(0, t.swapNano.Load())).Seconds()
-	return g.gen, g.eng.Set().Len(), g.eng.Algorithm().String(), age
+	n := g.eng.Set().Len()
+	if rset := g.eng.Rules(); rset != nil {
+		n = len(rset.Rules) // rule-conditioned database: count rules, not prefilter literals
+	}
+	return g.gen, n, g.eng.Algorithm().String(), age
 }
 
 // shutdown retires the tenant: no new acquisitions succeed, and the

@@ -58,6 +58,7 @@ package vpatch
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 
@@ -68,6 +69,7 @@ import (
 	"vpatch/internal/ffbf"
 	"vpatch/internal/metrics"
 	"vpatch/internal/patterns"
+	"vpatch/internal/rules"
 	"vpatch/internal/vec"
 	"vpatch/internal/wumanber"
 )
@@ -89,6 +91,15 @@ type (
 	Counters = metrics.Counters
 	// EmitFunc receives matches during a scan; nil means count-only.
 	EmitFunc = patterns.EmitFunc
+	// RuleSet is a compiled rule-semantics set: ordered content clauses
+	// (offset/depth/distance/within, nocase) plus optional regex tails,
+	// layered over a case-folded literal pattern set the engines
+	// prefilter with. Build one with ParseRuleSet and hand it to
+	// ids.NewRuleEngine. See the README's "Rule language" section.
+	RuleSet = rules.Set
+	// RuleParseOptions controls rule-set parsing (the regex verification
+	// window override).
+	RuleParseOptions = rules.ParseOptions
 )
 
 // Protocol tags, re-exported.
@@ -105,6 +116,14 @@ func NewPatternSet() *PatternSet { return patterns.NewSet() }
 
 // PatternSetFromStrings builds a case-sensitive set from literals.
 func PatternSetFromStrings(ss ...string) *PatternSet { return patterns.FromStrings(ss...) }
+
+// ParseRuleSet reads a Snort-lite rule stream (see the README's "Rule
+// language" section for the accepted syntax) and compiles it into a
+// rule-semantics set, including the case-folded prefilter literal set
+// the engines scan with.
+func ParseRuleSet(r io.Reader, opt RuleParseOptions) (*RuleSet, error) {
+	return rules.ParseRules(r, opt)
+}
 
 // Algorithm selects the matching engine.
 type Algorithm int
