@@ -12,6 +12,8 @@
 //	                                # per-segment vs batched dispatch
 //	vpatch-bench -rules             # rule-tier overhead sweep:
 //	                                # full semantics vs literal-only
+//	vpatch-bench -flood             # match-flood adversarial sweep:
+//	                                # verifier budgets on vs off
 //	vpatch-bench -kernels           # extract-kernel A/B sweep (all kernels)
 //	vpatch-bench -kernel avx2       # kernel sweep: avx2 vs the swar baseline
 //	vpatch-bench -db web.vpdb      # startup: load vs recompile + scan
@@ -97,6 +99,7 @@ type report struct {
 	IngestSweep []experiments.IngestSweepRow `json:"ingest_sweep,omitempty"`
 	AccelSweep  []experiments.AccelSweepRow  `json:"accel_sweep,omitempty"`
 	RuleSweep   []experiments.RuleSweepRow   `json:"rule_sweep,omitempty"`
+	FloodSweep  []experiments.FloodSweepRow  `json:"flood_sweep,omitempty"`
 	DB          *dbReport                    `json:"db,omitempty"`
 }
 
@@ -161,6 +164,7 @@ func main() {
 	accelSweep := flag.Bool("accel", false, "run the skip-loop acceleration density sweep instead of figures")
 	ingestSweep := flag.Bool("ingest", false, "run the end-to-end ingest sweep (per-segment vs batched dispatch) instead of figures")
 	rulesSweep := flag.Bool("rules", false, "run the rule-tier overhead sweep (full rule semantics vs literal-only at 0-10% anchor-hit rates) instead of figures")
+	floodSweep := flag.Bool("flood", false, "run the match-flood adversarial sweep (verifier budgets on vs off at 0-40% flood-site densities) instead of figures")
 	ingestShards := flag.Int("ingest-shards", 0, "worker shards in the ingest sweep (0 = one per core)")
 	ingestBatch := flag.Int("ingest-batch", 0, "segments per HandleBatch call in the ingest sweep (0 = dispatcher default)")
 	kernelFlag := flag.String("kernel", "auto", "extract kernel to force (auto, avx2, ssse3, swar); with no figure selection, runs the kernel sweep for it vs the swar baseline")
@@ -200,7 +204,7 @@ func main() {
 	// BENCH snapshot the bench-regression gate pins.
 	ranMode := false
 	if *kernelsMode || (kern != vpatch.KernelAuto && *fig == "" && !*all &&
-		*sizesFlag == "" && *dbPath == "" && !*accelSweep && !*ingestSweep && !*rulesSweep) {
+		*sizesFlag == "" && *dbPath == "" && !*accelSweep && !*ingestSweep && !*rulesSweep && !*floodSweep) {
 		kernels := vpatch.AvailableKernels()
 		if !*kernelsMode {
 			kernels = []vpatch.Kernel{resolved}
@@ -226,6 +230,10 @@ func main() {
 	}
 	if *rulesSweep {
 		runRuleSweep(cfg, *csvDir, rep)
+		ranMode = true
+	}
+	if *floodSweep {
+		runFloodSweep(cfg, *csvDir, rep)
 		ranMode = true
 	}
 	if ranMode {
@@ -485,6 +493,23 @@ func runRuleSweep(cfg experiments.Config, csvDir string, rep *report) {
 		"Rule sweep: full rule semantics vs literal-only prefilter (V-PATCH, random traffic + injected anchors)", rows)
 	rep.RuleSweep = rows
 	writeCSV(csvDir, func() error { return experiments.WriteRuleSweepCSV(csvDir, "rulesweep.csv", rows) })
+}
+
+// runFloodSweep runs the match-flood adversarial sweep: the same rule
+// pipeline with verifier budgets disarmed versus armed as injected
+// always-rejecting anchor sites sweep from clean traffic to attack
+// densities. The 0% cell's budgets-on/off ratio is the budget
+// bookkeeping's clean-traffic overhead the bench gate pins; the attack
+// cells show the throughput floor the budget defends.
+func runFloodSweep(cfg experiments.Config, csvDir string, rep *report) {
+	rows, err := experiments.FloodSweep(cfg, vpatch.Options{}, nil)
+	if err != nil {
+		fatalBench(err)
+	}
+	experiments.PrintFloodSweep(os.Stdout,
+		"Flood sweep: verifier budgets on vs off under match-flood anchor injection (V-PATCH, random traffic)", rows)
+	rep.FloodSweep = rows
+	writeCSV(csvDir, func() error { return experiments.WriteFloodSweepCSV(csvDir, "floodsweep.csv", rows) })
 }
 
 // writeCSV runs the export when a CSV directory was requested.

@@ -28,6 +28,12 @@
 // -rule-max-rise. Snapshots from before a section existed simply skip
 // it — the gate only pins what both snapshots measured.
 //
+// A flood_sweep section in the new snapshot is gated on the budgets-on
+// clean-traffic overhead ratio: -flood-max-overhead is an absolute
+// ceiling (default 1.05) on the 0%-flood cell's budget_overhead,
+// pinning the claim that arming verifier budgets is free on clean
+// traffic. Attack-density rows are informational.
+//
 // -min-avx2-filter additionally enforces an absolute floor on the AVX2
 // clean-random filtering-round speedup (the paper's §VI claim; 0
 // disables). -min-ingest-64 enforces an absolute floor on the 64-byte
@@ -52,6 +58,7 @@ type snapshot struct {
 	BatchSweep  []batchRow  `json:"batch_sweep"`
 	IngestSweep []ingestRow `json:"ingest_sweep"`
 	RuleSweep   []ruleRow   `json:"rule_sweep"`
+	FloodSweep  []floodRow  `json:"flood_sweep"`
 }
 
 type sweepRow struct {
@@ -84,6 +91,14 @@ type ruleRow struct {
 	Overhead    float64 `json:"verify_overhead"`
 }
 
+type floodRow struct {
+	FloodPct       float64 `json:"flood_pct"`
+	BaseGbps       float64 `json:"base_gbps"`
+	BudgetGbps     float64 `json:"budget_gbps"`
+	BudgetOverhead float64 `json:"budget_overhead"`
+	DegradedFlows  uint64  `json:"degraded_flows"`
+}
+
 func load(path string) (*snapshot, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -103,6 +118,7 @@ func main() {
 	ingestMaxDrop := flag.Float64("ingest-max-drop", 0.25, "maximum allowed fractional drop for ingest-sweep ratios (pipeline timings are noisier)")
 	ruleMaxRise := flag.Float64("rule-max-rise", 0.25, "maximum allowed fractional rise in rule-tier verify overhead per hit rate")
 	minAVX2 := flag.Float64("min-avx2-filter", 0, "absolute floor on the avx2 clean-random filter speedup (0 = off)")
+	floodMaxOverhead := flag.Float64("flood-max-overhead", 1.05, "absolute ceiling on the flood sweep's budgets-on clean-traffic (0%% flood) overhead ratio (0 = off)")
 	minIngest64 := flag.Float64("min-ingest-64", 0, "absolute floor on the 64-byte batched-dispatch speedup (0 = off)")
 	abs := flag.Bool("abs", false, "also gate absolute Gbps (same-machine comparisons only)")
 	flag.Parse()
@@ -244,6 +260,36 @@ func main() {
 		}
 	} else {
 		fmt.Println("skip rule_sweep: baseline snapshot has no section")
+	}
+
+	// Flood-sweep gate: the verifier budget must stay free on clean
+	// traffic. The budgets-on/off throughput ratio at 0% flood density
+	// is measured fresh in-process (both pipelines on the same host in
+	// the same run, so machine speed cancels) and gated against an
+	// absolute ceiling rather than the baseline — the overhead claim is
+	// "≤1.05x", not "no worse than last time". Attack-density rows are
+	// informational: their budget_gbps is the degraded floor, and the
+	// relative gates would only pin noise.
+	if *floodMaxOverhead > 0 {
+		key := "flood/0%"
+		var n *floodRow
+		for i := range newSnap.FloodSweep {
+			if newSnap.FloodSweep[i].FloodPct == 0 {
+				n = &newSnap.FloodSweep[i]
+				break
+			}
+		}
+		switch {
+		case n == nil:
+			fmt.Printf("skip %-24s new snapshot has no clean flood row (ceiling %.2f not applicable)\n", key, *floodMaxOverhead)
+		case n.BudgetOverhead > *floodMaxOverhead:
+			fmt.Printf("FAIL %-24s %-30s %.3f above ceiling %.2f\n",
+				key, "budget_overhead", n.BudgetOverhead, *floodMaxOverhead)
+			failed = true
+		default:
+			fmt.Printf("ok   %-24s %-30s %.3f <= ceiling %.2f\n",
+				key, "budget_overhead", n.BudgetOverhead, *floodMaxOverhead)
+		}
 	}
 
 	if *minIngest64 > 0 {

@@ -27,6 +27,12 @@
 // or beyond the cap are evicted, over-budget out-of-order bytes are
 // dropped, and the counts are reported.
 //
+// -verifier-flow-budget arms the match-flood defense: each flow gets a
+// lifetime verifier budget in modeled cycles, and a flow that spends it
+// (a crafted anchor flood) degrades to literal-only alerting instead of
+// monopolizing the regex verifier. The degradation figures print as an
+// "overload:" line.
+//
 // Captures can be produced with `vpatch-gen -pcap` or any tool writing
 // classic little-endian libpcap Ethernet captures in the shape netsim
 // emits (see internal/netsim).
@@ -56,6 +62,7 @@ import (
 	"vpatch/ids"
 	"vpatch/internal/netsim"
 	"vpatch/internal/patterns"
+	"vpatch/internal/resil"
 )
 
 // alertRec is the JSONL alert shape shared with vpatch-serve's
@@ -91,6 +98,7 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "instrument scans and print the merged matcher+lifecycle counters (costs a few %)")
 	alertsOut := flag.String("alerts-out", "", `write every alert as a JSON line to this file ("-" = stdout)`)
 	ruleSem := flag.Bool("rule-semantics", false, "compile -rules with full rule semantics (offsets, nocase, pcre verifier)")
+	verifierBudget := flag.Int64("verifier-flow-budget", 0, "per-flow verifier budget in modeled cycles; match-flood flows degrade to literal-only alerting past it (0 = unlimited)")
 	flag.Parse()
 	if (*rulesPath == "") == (*dbPath == "") || *pcapPath == "" {
 		flag.Usage()
@@ -215,6 +223,13 @@ func main() {
 	}
 	set := engine.Set()
 
+	// The match-flood defense is opt-in for offline analysis: armed, it
+	// also instruments counters so the degradation figures are real.
+	var vbudget resil.VerifierBudget
+	if *verifierBudget > 0 {
+		vbudget = resil.VerifierBudget{PerFlow: *verifierBudget, Price: resil.DefaultPrice()}
+	}
+
 	bytes := 0
 	for _, s := range segs {
 		bytes += len(s.Payload)
@@ -235,8 +250,11 @@ func main() {
 		// valid for the run, so the dispatcher may take them by reference
 		// instead of defensively copying into arena chunks.
 		d.SetZeroCopy(true)
+		if vbudget.Armed() {
+			d.SetVerifierBudget(vbudget)
+		}
 		var perShard []*vpatch.Counters
-		if *showMetrics {
+		if *showMetrics || vbudget.Armed() {
 			perShard = d.InstrumentCounters()
 		}
 		// Batched handoff: slab-sized chunks amortize the per-segment
@@ -260,7 +278,10 @@ func main() {
 		}
 	} else {
 		engine.SetLimits(limits)
-		if *showMetrics {
+		if vbudget.Armed() {
+			engine.SetVerifierBudget(vbudget)
+		}
+		if *showMetrics || vbudget.Armed() {
 			engine.SetCounters(&counters)
 		}
 		for _, s := range segs {
@@ -289,6 +310,11 @@ func main() {
 		engine.Algorithm(), set.Len(), len(engine.GroupSizes()), *shards)
 	fmt.Printf("flows:   %d peak, %d closed, %d evicted, %d bytes dropped\n",
 		stats.PeakFlows, stats.FlowsClosed, stats.FlowsEvicted, stats.BytesDropped)
+	if vbudget.Armed() {
+		fmt.Printf("overload: %d flows degraded to literal-only, %d budget denials, %d panics recovered, %d flows quarantined\n",
+			counters.DegradedFlows, counters.VerifierBudgetExhausted,
+			counters.PanicsRecovered, counters.FlowsQuarantined)
+	}
 	fmt.Printf("result:  %d alerts in %s (%.3f Gbps)\n",
 		total, elapsed.Round(time.Millisecond),
 		float64(bytes)*8/float64(elapsed.Nanoseconds()))

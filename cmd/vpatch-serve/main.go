@@ -21,6 +21,13 @@
 // on GET /v1/alerts (?follow=1 for a live tail) and, with -alerts-out,
 // appends to a JSONL file.
 //
+// Overload behavior: ingest batches are scheduled deficit-round-robin
+// across tenants (one tenant's flood cannot starve another's lane),
+// per-flow verifier budgets degrade match-flood flows to literal-only
+// alerting (-verifier-flow-budget; armed by default), and idle or
+// stalled ingest connections are torn down (-ingest-idle-timeout). See
+// the README's "Failure modes & overload behavior" section.
+//
 // Signals:
 //
 //	SIGHUP           re-read -db (or -rules) and hot-swap the default tenant
@@ -44,6 +51,7 @@ import (
 	"vpatch"
 	"vpatch/ids"
 	"vpatch/internal/patterns"
+	"vpatch/internal/resil"
 	"vpatch/internal/serve"
 )
 
@@ -60,6 +68,11 @@ func main() {
 	totalPending := flag.Int("total-pending", 64<<20, "default per-shard out-of-order byte budget (0 = unlimited)")
 	quotaBps := flag.Int64("quota-bps", 0, "default per-tenant ingest byte quota per second (0 = unlimited)")
 	quotaBurst := flag.Int64("quota-burst", 0, "default quota burst bytes (0 = one second of quota)")
+	verifierBudget := flag.Int64("verifier-flow-budget", resil.DefaultFlowBudget, "default per-flow verifier budget in modeled cycles; match-flood flows degrade to literal-only past it (negative = unlimited)")
+	verifierBudgetPS := flag.Int64("verifier-budget-per-sec", 0, "default per-tenant verifier cycle pool refill per second (0 = no tenant pool)")
+	ingestIdle := flag.Duration("ingest-idle-timeout", 5*time.Minute, "tear down raw-TCP ingest connections idle past this (negative = never)")
+	queueBytes := flag.Int("ingest-queue-bytes", 0, "per-tenant ingest scheduler queue bound in bytes (0 = default)")
+	quantumBytes := flag.Int("sched-quantum-bytes", 0, "deficit-round-robin byte quantum per tenant visit (0 = default)")
 	alertsOut := flag.String("alerts-out", "", `append every alert as a JSON line to this file ("-" = stdout); same records as GET /v1/alerts`)
 	ruleSem := flag.Bool("rule-semantics", false, "compile -rules with full rule semantics (offsets, nocase, pcre verifier)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
@@ -84,14 +97,19 @@ func main() {
 
 	srv := serve.New(serve.Config{
 		TenantDefaults: serve.TenantConfig{
-			Shards:            *shards,
-			MaxFlows:          *maxFlows,
-			FlowTimeout:       *flowTimeout,
-			FlowPendingBytes:  *flowPending,
-			TotalPendingBytes: *totalPending,
-			QuotaBytesPerSec:  *quotaBps,
-			QuotaBurstBytes:   *quotaBurst,
+			Shards:               *shards,
+			MaxFlows:             *maxFlows,
+			FlowTimeout:          *flowTimeout,
+			FlowPendingBytes:     *flowPending,
+			TotalPendingBytes:    *totalPending,
+			QuotaBytesPerSec:     *quotaBps,
+			QuotaBurstBytes:      *quotaBurst,
+			VerifierFlowBudget:   *verifierBudget,
+			VerifierBudgetPerSec: *verifierBudgetPS,
+			IngestQueueBytes:     *queueBytes,
 		},
+		IngestIdleTimeout: *ingestIdle,
+		SchedQuantumBytes: *quantumBytes,
 	})
 	def, err := srv.CreateTenant(serve.DefaultTenant, serve.TenantConfig{})
 	if err != nil {

@@ -12,6 +12,17 @@
 //	vpatch-soak                      # 30s soak, one shard per core
 //	vpatch-soak -duration 5m -shards 4 -flows 512
 //	vpatch-soak -max-growth 1.05     # tighten the post-warmup bound
+//	vpatch-soak -conns 2000          # connection soak: 2000 concurrent
+//	                                 # ingest connections through the
+//	                                 # in-process daemon
+//
+// -conns N switches to the connection soak: the full resident daemon
+// (fair scheduler, tenant generation, raw-TCP ingest) is stood up in
+// process and N concurrent connections each stream short flows
+// carrying exactly one injected match. The gate additionally requires
+// a clean drain, zero scheduler sheds of the in-quota load, and a
+// final alert count exactly equal to the flows sent — zero alerts
+// lost or duplicated end to end.
 //
 // The first quarter of the duration is warmup (pools and flow tables
 // filling toward their plateau); the gate compares the end of the run
@@ -42,7 +53,12 @@ func main() {
 	flows := flag.Int("flows", 256, "concurrent flows the churn maintains")
 	maxGrowth := flag.Float64("max-growth", 1.10, "allowed Sys/HeapInuse growth factor after warmup")
 	seed := flag.Int64("seed", 1, "traffic generator seed")
+	conns := flag.Int("conns", 0, "connection-soak mode: drive this many concurrent raw-TCP ingest connections through an in-process daemon instead of the dispatcher loop")
 	flag.Parse()
+	if *conns > 0 {
+		runConnSoak(*duration, *conns, *maxGrowth)
+		return
+	}
 	if *shards <= 0 {
 		*shards = runtime.GOMAXPROCS(0)
 	}

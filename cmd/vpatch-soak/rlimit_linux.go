@@ -1,0 +1,24 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// raiseFileLimit lifts the soft RLIMIT_NOFILE toward need (clamped to
+// the hard limit) so the connection soak can hold thousands of
+// sockets. Best effort: a failed setrlimit surfaces later as dial
+// errors, which the soak reports.
+func raiseFileLimit(need uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= need {
+		return
+	}
+	if need > lim.Max {
+		need = lim.Max
+	}
+	lim.Cur = need
+	syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package main
+
+// raiseFileLimit is a no-op off Linux; the connection soak then runs
+// within whatever descriptor limit the platform grants.
+func raiseFileLimit(uint64) {}

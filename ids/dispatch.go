@@ -24,6 +24,8 @@ import (
 	"vpatch/internal/arena"
 	"vpatch/internal/metrics"
 	"vpatch/internal/netsim"
+	"vpatch/internal/resil"
+	"vpatch/internal/resil/chaos"
 )
 
 // Dispatcher fans captured segments out to N worker shards by flow-key
@@ -119,12 +121,19 @@ func (e *Engine) NewDispatcher(n int, limits netsim.Limits, emit func(Alert)) *D
 		d.shards[i] = sh
 		d.chans[i] = ch
 		d.flush[i] = fch
+		worker := i
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
 			handle := func(bt []netsim.Segment) {
+				if chaos.Armed() {
+					chaos.Fire(chaos.DispatchBatch, worker)
+				}
 				for j := range bt {
-					sh.HandleSegment(bt[j])
+					// Per-segment panic recovery: a poisoned segment
+					// quarantines its flow, never the shard (see
+					// Shard.handleSegmentSafe).
+					sh.handleSegmentSafe(bt[j])
 					bt[j] = netsim.Segment{}
 				}
 				d.putSlab(bt[:0])
@@ -170,6 +179,15 @@ func (d *Dispatcher) SetArena(a *arena.Arena) {
 	d.arena = a
 	for _, sh := range d.shards {
 		sh.SetArena(a)
+	}
+}
+
+// SetVerifierBudget arms the match-flood defense on every worker shard
+// (see Shard.SetVerifierBudget). Must be called before the first
+// Handle/HandleBatch, like the other pre-start configuration.
+func (d *Dispatcher) SetVerifierBudget(b resil.VerifierBudget) {
+	for _, sh := range d.shards {
+		sh.SetVerifierBudget(b)
 	}
 }
 
@@ -248,7 +266,17 @@ func (d *Dispatcher) putSlab(s []netsim.Segment) {
 // (SetZeroCopy) transfer the payload by reference. Do not mix Handle
 // and HandleBatch for segments of the same flow: batched segments may
 // still be lingering in an accumulator when Handle bypasses it.
+//
+// After Close, Handle drops the segment (releasing an owned payload)
+// instead of panicking — the benign outcome of the shutdown race a
+// resident service's ingest connections run against Drain.
 func (d *Dispatcher) Handle(seg netsim.Segment) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		seg.ReleasePayload()
+		return
+	}
 	seg = d.adopt(seg)
 	slab := append(d.takeSlab(), seg)
 	d.chans[seg.Flow.Hash()%uint32(len(d.chans))] <- slab
@@ -262,6 +290,8 @@ func (d *Dispatcher) Handle(seg netsim.Segment) {
 // transfers to the pipeline; unowned payloads are defensively copied
 // (see Handle). Safe for concurrent use; segments of one flow keep
 // their per-sender order relative to other HandleBatch/FlushAll calls.
+// After Close the batch is dropped (owned payloads released), like
+// Handle.
 func (d *Dispatcher) HandleBatch(segs []netsim.Segment) {
 	if len(segs) == 0 {
 		return
@@ -269,6 +299,12 @@ func (d *Dispatcher) HandleBatch(segs []netsim.Segment) {
 	n := uint32(len(d.chans))
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		for i := range segs {
+			segs[i].ReleasePayload()
+		}
+		return
+	}
 	for _, seg := range segs {
 		seg = d.adopt(seg)
 		i := seg.Flow.Hash() % n

@@ -52,6 +52,8 @@ import (
 	"vpatch/internal/metrics"
 	"vpatch/internal/netsim"
 	"vpatch/internal/patterns"
+	"vpatch/internal/resil"
+	"vpatch/internal/resil/chaos"
 	"vpatch/internal/rules"
 )
 
@@ -147,7 +149,22 @@ type Shard struct {
 	// replayed through the evaluator — see evalRuleHits).
 	ev       *rules.Eval
 	ruleHits []ruleHit
+
+	// vbudget, when armed, prices every flushed buffer's verifier work
+	// and demotes over-budget flows to literal-only alerting (see
+	// SetVerifierBudget).
+	vbudget resil.VerifierBudget
+
+	// quarantined holds flows whose segment handling panicked (see
+	// recoverSegmentPanic); their later segments are dropped so one
+	// poisoned flow cannot re-kill the shard.
+	quarantined map[netsim.FlowKey]struct{}
 }
+
+// maxQuarantined bounds the quarantine set; beyond it, panicking flows
+// are still torn down and counted but not blacklisted (a shard in that
+// state has bigger problems than repeat offenders).
+const maxQuarantined = 4096
 
 // obsPublishEvery is how many segments a shard handles between
 // flow-stats publications to its observer (flushes also publish). Low
@@ -167,6 +184,11 @@ type flowState struct {
 	maxLen   int
 	carry    []byte
 	consumed int64 // stream bytes absorbed (end of carry)
+	// vbudget is the flow's remaining verifier budget in modeled cycles
+	// (budget-armed rule engines only); degraded marks a flow demoted
+	// to literal-only alerting after exhaustion.
+	vbudget  int64
+	degraded bool
 	// rstate is the flow's rule-evaluation progress (rule-conditioned
 	// engines only, nil otherwise). It lives on the flowState — in
 	// reassembly-ordered absolute stream offsets — so clause distance/
@@ -315,6 +337,19 @@ func (s *Shard) SetArena(a *arena.Arena) { s.reasm.SetArena(a.NewLocal()) }
 // flows, teardowns, evictions, dropped bytes and pending out-of-order
 // bytes. Fold them into scan counters with netsim.Stats.MergeInto.
 func (s *Shard) Stats() netsim.Stats { return s.reasm.Stats() }
+
+// SetVerifierBudget arms the shard's match-flood defense: flushed
+// buffers' verifier work is priced (b.Price) and charged against each
+// flow's b.PerFlow budget and the shared b.Pool; the first uncovered
+// charge demotes the flow to literal-only alerting (suspended
+// verifications are settled first, so no already-anchored alert is
+// lost). Follows the shard's single-goroutine rule: arm before the
+// shard starts handling segments. The zero value disarms.
+func (s *Shard) SetVerifierBudget(b resil.VerifierBudget) { s.vbudget = b }
+
+// SetVerifierBudget arms the default shard's match-flood defense (see
+// Shard.SetVerifierBudget).
+func (e *Engine) SetVerifierBudget(b resil.VerifierBudget) { e.def.SetVerifierBudget(b) }
 
 // SetCounters attaches scan instrumentation to the shard: every batch
 // scan accumulates into c (bytes scanned, filter probes, matches, lane
@@ -505,12 +540,80 @@ func (e *Engine) Stats() netsim.Stats { return e.def.Stats() }
 func (s *Shard) HandleSegment(seg netsim.Segment) {
 	s.reasm.Add(seg)
 	seg.ReleasePayload()
+	s.bumpObs()
+}
+
+// bumpObs publishes flow stats every obsPublishEvery segments when an
+// observer is attached.
+func (s *Shard) bumpObs() {
 	if s.obsFlow != nil {
 		if s.segsSinceObs++; s.segsSinceObs >= obsPublishEvery {
 			s.segsSinceObs = 0
 			s.obsFlow.Store(s.reasm.Stats())
 		}
 	}
+}
+
+// handleSegmentSafe is the dispatcher workers' entry: segment handling
+// wrapped in per-segment panic recovery, plus the quarantine filter.
+// A panic tears down and blacklists the offending flow while the shard
+// — and every other flow on it — keeps scanning. The body mirrors
+// HandleSegment rather than calling it so the recovery path knows
+// whether the payload chunk was already returned (released exactly
+// once whether the panic lands before or inside reassembly).
+func (s *Shard) handleSegmentSafe(seg netsim.Segment) {
+	if s.quarantined != nil {
+		if _, bad := s.quarantined[seg.Flow]; bad {
+			seg.ReleasePayload()
+			return
+		}
+	}
+	absorbed := false
+	defer func() {
+		if r := recover(); r != nil {
+			if !absorbed {
+				seg.ReleasePayload()
+			}
+			s.recoverSegmentPanic(seg.Flow)
+		}
+	}()
+	if chaos.Armed() {
+		chaos.Fire(chaos.ShardSegment, seg.Flow)
+	}
+	s.reasm.Add(seg)
+	absorbed = true
+	seg.ReleasePayload()
+	s.bumpObs()
+}
+
+// recoverSegmentPanic contains the damage of a panic during one
+// segment's handling: count it, quarantine the flow, and tear its
+// state down through the normal RST path so alerts already enqueued
+// for it still surface at the teardown flush. The teardown itself runs
+// under a nested recover — the flow's reassembly state may be the
+// corrupted party — with a map-drop fallback.
+func (s *Shard) recoverSegmentPanic(k netsim.FlowKey) {
+	c := s.counters
+	if s.obsScan != nil {
+		c = &s.obsScratch
+	}
+	if c != nil {
+		c.PanicsRecovered++
+	}
+	if s.quarantined == nil {
+		s.quarantined = make(map[netsim.FlowKey]struct{})
+	}
+	if _, dup := s.quarantined[k]; !dup && len(s.quarantined) < maxQuarantined {
+		s.quarantined[k] = struct{}{}
+		if c != nil {
+			c.FlowsQuarantined++
+		}
+	}
+	func() {
+		defer func() { _ = recover() }()
+		s.reasm.Add(netsim.Segment{Flow: k, Flags: netsim.FlagRST})
+	}()
+	delete(s.flows, k)
 }
 
 // session returns the shard's scan session for g, creating it on first
@@ -544,6 +647,7 @@ func (s *Shard) onPayload(k netsim.FlowKey, payload []byte) {
 		fs = &flowState{key: k, g: g, maxLen: maxLen}
 		if s.ev != nil {
 			fs.rstate = rules.NewFlowState(protoForPort(k.DstPort))
+			fs.vbudget = s.vbudget.PerFlow
 		}
 		s.flows[k] = fs
 	}
@@ -649,8 +753,17 @@ func (s *Shard) Flush() {
 	for g, pb := range s.pending {
 		s.flushGroup(g, pb)
 	}
-	// Publish final lifecycle gauges even when no batch held jobs, so
+	// Fold any scratch counts accumulated outside batch flushes (panic
+	// recoveries, budget exhaustions on job-less teardown paths), and
+	// publish final lifecycle gauges even when no batch held jobs, so
 	// eviction- or teardown-only activity reaches scrapers too.
+	if s.obsScan != nil {
+		if s.counters != nil {
+			s.counters.Add(&s.obsScratch)
+		}
+		s.obsScan.AddCounters(&s.obsScratch)
+		s.obsScratch.Reset()
+	}
 	s.publishFlowStats()
 }
 

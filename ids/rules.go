@@ -95,11 +95,35 @@ func (s *Shard) evalRuleHits(pb *groupBatch, c *vpatch.Counters) {
 		}
 		return hits[i].end < hits[j].end
 	})
+	// Budget pricing reads verifier-counter deltas around the evaluator
+	// calls, so an uninstrumented shard still needs a counter target
+	// when a budget is armed (obsScratch doubles as that scratch — it
+	// is unobserved exactly when c would be nil).
+	budgeted := s.vbudget.Armed()
+	if budgeted && c == nil {
+		c = &s.obsScratch
+	}
 	hi := 0
 	for b := range pb.meta {
 		ent := &pb.meta[b]
 		fs := ent.fs
 		if fs.rstate == nil {
+			if fs.degraded {
+				// Budget-degraded flow: the prefilter still sees every
+				// byte; its hits surface as plain literal alerts instead
+				// of buying verifier work.
+				for hi < len(hits) && int(hits[hi].buf) == b {
+					h := hits[hi]
+					hi++
+					s.emit(Alert{
+						Flow:         fs.key,
+						StreamOffset: ent.base + int64(h.pos),
+						PatternID:    h.lit,
+						RuleID:       -1,
+					})
+				}
+				continue
+			}
 			// Flow already settled (closed) — skip its stale hits.
 			for hi < len(hits) && int(hits[hi].buf) == b {
 				hi++
@@ -108,15 +132,54 @@ func (s *Shard) evalRuleHits(pb *groupBatch, c *vpatch.Counters) {
 		}
 		buf := pb.bufs[b]
 		emit := s.ruleEmitter(fs)
+		var runs0, states0 uint64
+		if budgeted {
+			runs0, states0 = c.VerifierRuns, c.VerifierStates
+		}
+		nhits := uint64(0)
 		if fs.rstate.HasPending() {
 			s.ev.FeedBuffer(fs.rstate, buf, ent.base, c, emit)
 		}
 		for hi < len(hits) && int(hits[hi].buf) == b {
 			h := hits[hi]
 			hi++
+			nhits++
 			s.ev.OnHit(fs.rstate, h.lit,
 				ent.base+int64(h.pos), ent.base+int64(h.end), buf, ent.base, c, emit)
 		}
+		if budgeted && nhits > 0 {
+			cost := s.vbudget.Price.Cost(
+				c.VerifierRuns-runs0, c.VerifierStates-states0, nhits)
+			s.chargeVerifier(fs, cost, c, emit)
+		}
 	}
 	s.ruleHits = hits[:0]
+}
+
+// chargeVerifier debits one buffer's verifier work from the flow and
+// tenant budgets. An uncovered charge demotes the flow: suspended
+// verifications are settled (already-anchored rules still fire or
+// reject — no alert is silently lost), the rule state is torn down,
+// and the flow continues in literal-only mode for its remaining
+// lifetime. Exhaustion trails the work by at most one buffer, whose
+// excess is bounded by its hit count times the anchored window.
+func (s *Shard) chargeVerifier(fs *flowState, cost int64, c *vpatch.Counters, emit rules.EmitFunc) {
+	ok := true
+	if s.vbudget.PerFlow > 0 {
+		fs.vbudget -= cost
+		if fs.vbudget < 0 {
+			ok = false
+		}
+	}
+	if ok && !s.vbudget.Pool.TryTake(cost) {
+		ok = false
+	}
+	if ok {
+		return
+	}
+	c.VerifierBudgetExhausted++
+	c.DegradedFlows++
+	s.ev.FinishFlow(fs.rstate, c, emit)
+	fs.rstate = nil
+	fs.degraded = true
 }

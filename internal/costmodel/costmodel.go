@@ -325,6 +325,50 @@ func Estimate(p Platform, in Inputs) Result {
 	return Result{Cycles: total, Gbps: gbps, Breakdown: bd}
 }
 
+// VerifierPrice is the modeled cycle charge for one unit of rule-tier
+// verifier work, derived from a platform's latencies. The overload
+// layer (internal/resil) prices every anchored verification against
+// per-flow and per-tenant budgets denominated in these cycles, so a
+// match-flood attacker buys exactly as much DFA work as the budget
+// allows and not a cycle more. All three charges are integers so the
+// hot path can price a batch with two multiplies and an add.
+type VerifierPrice struct {
+	// PerRun is the fixed charge per verification started at a
+	// literal-hit anchor: setup plus the anchored window walked through
+	// L1-resident DFA rows.
+	PerRun int64
+	// PerState is the charge per lazy-DFA state constructed — the
+	// cache-cold NFA-set chase that crafted anchors try to force over
+	// and over; it dominates under attack.
+	PerState int64
+	// PerHit is the charge per anchor hit processed (clause-state
+	// bookkeeping bytes appended and re-read).
+	PerHit int64
+}
+
+// VerifierPrice derives the rule-tier verifier charges from the
+// platform parameters.
+func (p *Platform) VerifierPrice() VerifierPrice {
+	// A typical anchored run walks a short window of bytes through
+	// already-built rows (dependent L1 loads), after fixed dispatch and
+	// clause-window setup.
+	const runWindowBytes = 64
+	run := runWindowBytes*p.L1Lat/p.ILP + 5*p.BranchCost
+	// State construction is heap-scattered pointer chasing.
+	state := p.MemLat
+	hit := (2*p.L1Lat + p.BranchCost) / p.ILP
+	return VerifierPrice{
+		PerRun:   int64(math.Ceil(run)),
+		PerState: int64(math.Ceil(state)),
+		PerHit:   int64(math.Ceil(hit)),
+	}
+}
+
+// Cost prices a batch of verifier work in modeled cycles.
+func (v VerifierPrice) Cost(runs, states, hits uint64) int64 {
+	return int64(runs)*v.PerRun + int64(states)*v.PerState + int64(hits)*v.PerHit
+}
+
 // BreakdownString formats the component cycles largest-first.
 func (r Result) BreakdownString() string {
 	type kv struct {

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"vpatch"
+	"vpatch/ids"
+	"vpatch/internal/metrics"
+	"vpatch/internal/resil"
+	"vpatch/internal/traffic"
+)
+
+// The match-flood adversarial sweep: the experiment behind the verifier
+// budget. A match-flood attacker inverts the prefilter economics by
+// packing traffic with anchor literals whose tails always fail
+// verification — every site buys a verifier run (and its lazy-DFA state
+// construction) that can never alert. The sweep scans the same traffic
+// volume with verifier budgets disarmed and armed as the injected
+// anchor-site density rises from clean traffic to attack levels,
+// reporting both throughputs, the budgets-on/off ratio, and the armed
+// run's degradation counters. Two numbers matter: at 0% the ratio is
+// the budget bookkeeping's clean-traffic overhead (the CI bench gate
+// pins it ≤1.05x), and at attack densities the armed pipeline's
+// throughput floor is what a tenant keeps while under flood.
+
+// FloodSweepRow is one anchor-site-density cell.
+type FloodSweepRow struct {
+	// FloodPct is the injected flood sites' share of traffic bytes, in
+	// percent (0 = clean traffic, the deployment-dominant case).
+	FloodPct float64 `json:"flood_pct"`
+
+	// Anchors counts prefilter literal hits and VerifierRuns the
+	// verifications they bought, both from the disarmed pipeline — the
+	// work a budget-less deployment performs for the attacker.
+	Anchors      uint64 `json:"anchors"`
+	VerifierRuns uint64 `json:"verifier_runs"`
+
+	// BaseGbps is throughput with budgets disarmed; BudgetGbps with the
+	// per-flow verifier budget armed.
+	BaseGbps   float64 `json:"base_gbps"`
+	BudgetGbps float64 `json:"budget_gbps"`
+
+	// BudgetOverhead is BaseGbps / BudgetGbps: >1 means arming the
+	// budget cost throughput, <1 means the budget's literal-only
+	// degradation outran the disarmed pipeline's flooded verifier. The
+	// bench gate pins the FloodPct=0 cell.
+	BudgetOverhead float64 `json:"budget_overhead"`
+
+	// DegradedFlows and BudgetExhausted are the armed run's degradation
+	// counters (flows demoted to literal-only; charges denied).
+	DegradedFlows   uint64 `json:"degraded_flows"`
+	BudgetExhausted uint64 `json:"budget_exhausted"`
+}
+
+// injectFloodSites overwrites random sites of data with sweep anchors
+// followed by always-rejecting tails until about floodPct percent of
+// the bytes belong to injected sites — pure match-flood, unlike
+// injectAnchors' half-verifying mix: every site prices a verifier run,
+// none ever alerts.
+func injectFloodSites(data []byte, floodPct float64, seed int64) {
+	const siteLen = 11 + 4 // literal + rejecting tail
+	n := int(floodPct / 100 * float64(len(data)) / siteLen)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(data) - siteLen)
+		site := data[pos : pos+siteLen]
+		copy(site, fmt.Sprintf("VPSWEEP%02dQZ", rng.Intn(ruleSweepRules)))
+		copy(site[11:], "zzzz") // rejects at the first DFA step
+	}
+}
+
+// floodSweepBudget sizes the per-flow budget from the price so the
+// sweep is deterministic across platforms: enough cycles for ~2000
+// verifier runs per flow — generous for any clean flow the sweep's
+// traffic produces, exhausted within the first few percent of an
+// attack flow's flood sites.
+func floodSweepBudget() resil.VerifierBudget {
+	price := resil.DefaultPrice()
+	return resil.VerifierBudget{
+		PerFlow: price.Cost(2000, 2000, 4000),
+		Price:   price,
+	}
+}
+
+// FloodSweep measures budgets-on versus budgets-off throughput at each
+// flood-site density (percent of traffic bytes covered by injected
+// always-rejecting anchor sites; nil = 0%, 5%, 20%, 40%).
+func FloodSweep(cfg Config, opt vpatch.Options, floodPcts []float64) ([]FloodSweepRow, error) {
+	cfg = cfg.withDefaults()
+	if floodPcts == nil {
+		floodPcts = []float64{0, 5, 20, 40}
+	}
+	rset, err := vpatch.ParseRuleSet(strings.NewReader(ruleSweepRuleText()), vpatch.RuleParseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	budget := floodSweepBudget()
+
+	var rows []FloodSweepRow
+	for _, pct := range floodPcts {
+		data := traffic.Random(cfg.TrafficBytes, cfg.Seed)
+		injectFloodSites(data, pct, cfg.Seed+int64(pct*1000))
+		row := FloodSweepRow{FloodPct: pct}
+
+		sink := func(ids.Alert) {}
+		base, err := ids.NewRuleEngine(rset, opt, sink)
+		if err != nil {
+			return nil, err
+		}
+		armed, err := ids.NewRuleEngine(rset, opt, sink)
+		if err != nil {
+			return nil, err
+		}
+		armed.SetVerifierBudget(budget)
+
+		// Wall clock: un-instrumented runs, best of Repeats, one fresh
+		// flow per repeat so rule state and flow budgets never carry
+		// over between repeats. The clean cell gets extra repeats: at
+		// zero hits both pipelines do identical work, so its ratio is
+		// pure timer noise — and it is the cell the bench gate pins
+		// against an absolute ceiling.
+		reps := cfg.Repeats
+		if pct == 0 && reps < 9 {
+			reps = 9
+		}
+		for r := 0; r < reps; r++ {
+			ns := ruleSweepFeed(base, data, uint16(1000+r))
+			if g := metrics.Throughput(uint64(len(data)), ns); g > row.BaseGbps {
+				row.BaseGbps = g
+			}
+			ns = ruleSweepFeed(armed, data, uint16(2000+r))
+			if g := metrics.Throughput(uint64(len(data)), ns); g > row.BudgetGbps {
+				row.BudgetGbps = g
+			}
+		}
+		// Instrumented passes for the event counters: the disarmed
+		// pipeline's flood bill, the armed pipeline's degradations.
+		var c vpatch.Counters
+		base.SetCounters(&c)
+		ruleSweepFeed(base, data, 3000)
+		row.Anchors = c.Matches
+		row.VerifierRuns = c.VerifierRuns
+		var ca vpatch.Counters
+		armed.SetCounters(&ca)
+		ruleSweepFeed(armed, data, 3001)
+		row.DegradedFlows = ca.DegradedFlows
+		row.BudgetExhausted = ca.VerifierBudgetExhausted
+		if row.BudgetGbps > 0 {
+			row.BudgetOverhead = row.BaseGbps / row.BudgetGbps
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFloodSweep renders the sweep as an aligned text table.
+func PrintFloodSweep(w io.Writer, title string, rows []FloodSweepRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%9s %10s %10s %10s %12s %9s %9s %10s\n",
+		"flood_pct", "anchors", "verif_runs", "base_gbps", "budget_gbps", "overhead", "degraded", "exhausted")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9.1f %10d %10d %10.3f %12.3f %9.2f %9d %10d\n",
+			r.FloodPct, r.Anchors, r.VerifierRuns, r.BaseGbps, r.BudgetGbps,
+			r.BudgetOverhead, r.DegradedFlows, r.BudgetExhausted)
+	}
+}
+
+// WriteFloodSweepCSV exports the flood sweep.
+func WriteFloodSweepCSV(dir, name string, rows []FloodSweepRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			ftoa(r.FloodPct), fmt.Sprint(r.Anchors), fmt.Sprint(r.VerifierRuns),
+			ftoa(r.BaseGbps), ftoa(r.BudgetGbps), ftoa(r.BudgetOverhead),
+			fmt.Sprint(r.DegradedFlows), fmt.Sprint(r.BudgetExhausted),
+		})
+	}
+	return writeCSV(dir, name,
+		[]string{"flood_pct", "anchors", "verifier_runs", "base_gbps",
+			"budget_gbps", "budget_overhead", "degraded_flows", "budget_exhausted"}, out)
+}

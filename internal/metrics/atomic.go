@@ -54,6 +54,11 @@ type Atomic struct {
 	verifierStates atomic.Uint64
 	ruleAlerts     atomic.Uint64
 
+	verifierBudgetExhausted atomic.Uint64
+	degradedFlows           atomic.Uint64
+	panicsRecovered         atomic.Uint64
+	flowsQuarantined        atomic.Uint64
+
 	flowsEvicted atomic.Uint64
 	bytesDropped atomic.Uint64
 	peakFlows    atomic.Uint64
@@ -92,6 +97,10 @@ func (a *Atomic) AddCounters(c *Counters) {
 	a.verifierRuns.Add(c.VerifierRuns)
 	a.verifierStates.Add(c.VerifierStates)
 	a.ruleAlerts.Add(c.RuleAlerts)
+	a.verifierBudgetExhausted.Add(c.VerifierBudgetExhausted)
+	a.degradedFlows.Add(c.DegradedFlows)
+	a.panicsRecovered.Add(c.PanicsRecovered)
+	a.flowsQuarantined.Add(c.FlowsQuarantined)
 	a.flowsEvicted.Add(c.FlowsEvicted)
 	a.bytesDropped.Add(c.BytesDropped)
 	storeMax(&a.peakFlows, c.PeakFlows)
@@ -141,11 +150,17 @@ func (a *Atomic) Snapshot() Counters {
 		VerifierRuns:       a.verifierRuns.Load(),
 		VerifierStates:     a.verifierStates.Load(),
 		RuleAlerts:         a.ruleAlerts.Load(),
-		FlowsEvicted:       a.flowsEvicted.Load(),
-		BytesDropped:       a.bytesDropped.Load(),
-		PeakFlows:          a.peakFlows.Load(),
-		FilteringNs:        a.filteringNs.Load(),
-		VerifyNs:           a.verifyNs.Load(),
-		OtherNs:            a.otherNs.Load(),
+
+		VerifierBudgetExhausted: a.verifierBudgetExhausted.Load(),
+		DegradedFlows:           a.degradedFlows.Load(),
+		PanicsRecovered:         a.panicsRecovered.Load(),
+		FlowsQuarantined:        a.flowsQuarantined.Load(),
+
+		FlowsEvicted: a.flowsEvicted.Load(),
+		BytesDropped: a.bytesDropped.Load(),
+		PeakFlows:    a.peakFlows.Load(),
+		FilteringNs:  a.filteringNs.Load(),
+		VerifyNs:     a.verifyNs.Load(),
+		OtherNs:      a.otherNs.Load(),
 	}
 }

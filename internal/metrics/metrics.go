@@ -98,6 +98,19 @@ type Counters struct {
 	VerifierStates uint64
 	RuleAlerts     uint64
 
+	// Resilience events (the overload/degradation layer).
+	// VerifierBudgetExhausted counts charge attempts denied because a
+	// flow or tenant verifier budget ran dry; DegradedFlows counts flows
+	// demoted to literal-only alerting as a result (at most one per
+	// flow). PanicsRecovered counts per-segment panics a dispatcher
+	// worker caught without losing the shard; FlowsQuarantined counts
+	// flows torn down and blacklisted after such a panic (their later
+	// segments are dropped, the shard keeps scanning everyone else).
+	VerifierBudgetExhausted uint64
+	DegradedFlows           uint64
+	PanicsRecovered         uint64
+	FlowsQuarantined        uint64
+
 	// Flow-lifecycle events from the reassembly/IDS pipeline (zero for
 	// plain buffer scans). FlowsEvicted counts open flows dropped by
 	// the flow cap or idle timeout, BytesDropped counts payload bytes
@@ -141,6 +154,10 @@ func (c *Counters) Add(o *Counters) {
 	c.VerifierRuns += o.VerifierRuns
 	c.VerifierStates += o.VerifierStates
 	c.RuleAlerts += o.RuleAlerts
+	c.VerifierBudgetExhausted += o.VerifierBudgetExhausted
+	c.DegradedFlows += o.DegradedFlows
+	c.PanicsRecovered += o.PanicsRecovered
+	c.FlowsQuarantined += o.FlowsQuarantined
 	c.FlowsEvicted += o.FlowsEvicted
 	c.BytesDropped += o.BytesDropped
 	if o.PeakFlows > c.PeakFlows {
@@ -216,7 +233,7 @@ func (c *Counters) CandidateFrac() float64 {
 
 func (c *Counters) String() string {
 	return fmt.Sprintf(
-		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) skipped=%d(chances %d, runs %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d rules=%d(runs %d, states %d) evicted=%d dropped=%dB peakflows=%d filter=%s verify=%s",
+		"bytes=%d f1=%d f2=%d f3=%d vecIters=%d gathers=%d(merged %d) f3blocks=%d batch=%d(lanes %d) skipped=%d(chances %d, runs %d) cand=%d/%d ht=%d verify=%d(%dB) matches=%d rules=%d(runs %d, states %d) degraded=%d(denied %d) panics=%d(quarantined %d) evicted=%d dropped=%dB peakflows=%d filter=%s verify=%s",
 		c.BytesScanned, c.Filter1Probes, c.Filter2Probes, c.Filter3Probes,
 		c.VectorIters, c.Gathers, c.MergedGathers, c.Filter3Blocks,
 		c.BatchIters, c.BatchActiveLanes,
@@ -224,6 +241,8 @@ func (c *Counters) String() string {
 		c.ShortCandidates, c.LongCandidates, c.HTProbes, c.VerifyAttempts,
 		c.VerifyBytes, c.Matches,
 		c.RuleAlerts, c.VerifierRuns, c.VerifierStates,
+		c.DegradedFlows, c.VerifierBudgetExhausted,
+		c.PanicsRecovered, c.FlowsQuarantined,
 		c.FlowsEvicted, c.BytesDropped, c.PeakFlows,
 		time.Duration(c.FilteringNs), time.Duration(c.VerifyNs))
 }

@@ -1,0 +1,51 @@
+package netsim
+
+// Reassembly fuzzing with the adversarial evasion corpus: whatever
+// delivery tricks the fuzzer composes — tiny-MTU segmentation,
+// overlapping retransmissions, reordering, duplicates — the reassembler
+// must deliver exactly the original stream, exactly once, and keep its
+// books balanced. Seeds come from internal/traffic's corpus generators
+// so the known attack shapes are always in the corpus.
+
+import (
+	"bytes"
+	"testing"
+
+	"vpatch/internal/traffic"
+)
+
+func FuzzReassemblyAdversarial(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), int64(1))
+	f.Add(traffic.FloodAnchors([]byte("token="), []byte("zzzzzzzz"), 16, 3), int64(2))
+	f.Add(traffic.Random(512, 3), int64(4))
+	f.Add([]byte{}, int64(0))
+	f.Fuzz(func(t *testing.T, payload []byte, seed int64) {
+		if len(payload) > 1<<16 {
+			return
+		}
+		k := FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4}
+		var got []byte
+		r := NewReassembler(func(_ FlowKey, b []byte) { got = append(got, b...) })
+		closed := 0
+		r.OnClose(func(FlowKey, bool) { closed++ })
+		for _, c := range traffic.Evasive(payload, seed) {
+			seg := Segment{Flow: k, Seq: uint32(c.Off), Payload: c.Data}
+			if c.Fin {
+				seg.Flags = FlagFIN
+			}
+			r.Add(seg)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("delivered %d bytes != original %d bytes under evasive delivery (seed %d)",
+				len(got), len(payload), seed)
+		}
+		// A FIN for a flow that never carried a byte need not
+		// materialize flow state at all; any data obliges a teardown.
+		if len(payload) > 0 && closed != 1 {
+			t.Fatalf("flow closed %d times, want 1", closed)
+		}
+		if pb := r.PendingBytes(); pb != 0 {
+			t.Fatalf("%d pending bytes left after FIN", pb)
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package resil
+
+import "vpatch/internal/costmodel"
+
+// VerifierBudget arms the rule tier's match-flood defense on a shard:
+// every flushed buffer's verifier work (redfa runs started, lazy-DFA
+// states built, clause-state entries appended) is priced by Price and
+// charged against the flow's remaining budget and the tenant's shared
+// Pool. The first charge that cannot be covered demotes the flow to
+// literal-only alerting — its suspended verifications are settled (so
+// already-anchored rules still fire or reject), the rule state is torn
+// down, and from then on the flow's literal hits surface as plain
+// literal alerts. Exhaustion is detected one buffer late by design:
+// the work is measured by counter deltas around the evaluator calls,
+// so the overshoot is bounded by one buffer's hits, each of which does
+// only anchored-window work.
+//
+// The zero value is disarmed (unlimited verification, the historical
+// behavior).
+type VerifierBudget struct {
+	// PerFlow is each flow's lifetime verifier budget in modeled
+	// cycles; 0 means no per-flow cap.
+	PerFlow int64
+	// Pool, when non-nil, additionally charges every flow's work
+	// against the tenant-wide refilling pool.
+	Pool *Pool
+	// Price converts counter deltas to cycles. Zero-valued prices
+	// charge nothing; use DefaultPrice (or a Platform's VerifierPrice)
+	// when arming.
+	Price costmodel.VerifierPrice
+}
+
+// Armed reports whether any budget dimension is active.
+func (b VerifierBudget) Armed() bool { return b.PerFlow > 0 || b.Pool != nil }
+
+// DefaultPrice is the verifier price on the paper's Haswell testbed —
+// the platform the rest of the cost model calibrates against.
+func DefaultPrice() costmodel.VerifierPrice { return costmodel.Haswell.VerifierPrice() }
+
+// DefaultFlowBudget is the default per-flow verifier budget: enough
+// modeled cycles for tens of thousands of clean anchored verifications
+// (a real flow's lifetime worth), two orders of magnitude below what a
+// sustained single-flow match-flood tries to spend per second.
+const DefaultFlowBudget = 10 << 20

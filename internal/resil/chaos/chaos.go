@@ -1,0 +1,85 @@
+// Package chaos is the fault-injection seam of the resilience layer.
+// Production code plants named hooks at the points faults can occur
+// (per-segment shard handling, dispatcher worker batches, ...); tests
+// arm the package, attach a hook, and the next pass through that point
+// runs the hook — which may panic, sleep, or flip external state —
+// under the race detector, with the real pipeline around it. With the
+// package disarmed (the default, and the only production state) every
+// hook site costs one atomic load and a predicted branch, which is why
+// the hooks can live on otherwise-hot paths.
+//
+// Hooks are process-global, so tests that arm chaos must not run in
+// parallel with each other; they disarm with a deferred Reset.
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	armed atomic.Bool
+
+	mu    sync.RWMutex
+	hooks map[string]func(ctx any)
+)
+
+// Well-known hook points. Sites pass a context value the hook may
+// inspect (documented per point).
+const (
+	// ShardSegment fires before a dispatcher worker hands one segment
+	// to its shard; ctx is the netsim.FlowKey. A panicking hook
+	// exercises the per-shard panic recovery and flow quarantine.
+	ShardSegment = "shard.segment"
+	// DispatchBatch fires before a worker processes one dequeued slab;
+	// ctx is the worker index (int). A sleeping hook stalls the shard,
+	// exercising slab-pool backpressure.
+	DispatchBatch = "dispatch.batch"
+	// IngestFrame fires after each raw-TCP ingest frame is parsed; ctx
+	// is the tenant name. Hooks simulate slow or resetting peers.
+	IngestFrame = "ingest.frame"
+)
+
+// Set arms the package and installs fn at the named point (replacing
+// any previous hook there). fn runs on the goroutine that hits the
+// point.
+func Set(point string, fn func(ctx any)) {
+	mu.Lock()
+	if hooks == nil {
+		hooks = make(map[string]func(any))
+	}
+	hooks[point] = fn
+	mu.Unlock()
+	armed.Store(true)
+}
+
+// Reset removes every hook and disarms the package.
+func Reset() {
+	armed.Store(false)
+	mu.Lock()
+	hooks = nil
+	mu.Unlock()
+}
+
+// Armed reports whether any hook is installed. Hot-path sites guard
+// Fire with it so building the ctx argument (an interface boxing,
+// often an allocation) is never paid in production:
+//
+//	if chaos.Armed() {
+//		chaos.Fire(chaos.ShardSegment, seg.Flow)
+//	}
+func Armed() bool { return armed.Load() }
+
+// Fire runs the hook installed at point, if the package is armed and
+// one is installed. The fast path — disarmed — is one atomic load.
+func Fire(point string, ctx any) {
+	if !armed.Load() {
+		return
+	}
+	mu.RLock()
+	fn := hooks[point]
+	mu.RUnlock()
+	if fn != nil {
+		fn(ctx)
+	}
+}

@@ -1,0 +1,251 @@
+// The fault-injection property suite: real pipeline, injected faults,
+// exact alert accounting. Every test asserts the two resilience
+// invariants the layer exists for — alerts from healthy flows are
+// neither lost nor duplicated, and memory comes back to zero — while a
+// fault (shard panic, arena exhaustion, stalled worker) fires mid-run.
+// CI pins these under -race.
+package chaos_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vpatch"
+	"vpatch/ids"
+	"vpatch/internal/arena"
+	"vpatch/internal/netsim"
+	"vpatch/internal/resil/chaos"
+)
+
+func chaosKey(n int) netsim.FlowKey {
+	return netsim.FlowKey{
+		SrcIP: 0x0A000001, DstIP: 0x0A000002,
+		SrcPort: uint16(30000 + n), DstPort: 9999,
+	}
+}
+
+func chaosEngine(t *testing.T) *ids.Engine {
+	t.Helper()
+	set := vpatch.NewPatternSet()
+	set.Add([]byte("generic-bad-001"), false, vpatch.ProtoGeneric)
+	e, err := ids.NewEngine(set, vpatch.Options{}, func(ids.Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// alertLog is a concurrency-safe per-flow alert tally.
+type alertLog struct {
+	mu  sync.Mutex
+	per map[netsim.FlowKey]int
+}
+
+func newAlertLog() *alertLog { return &alertLog{per: make(map[netsim.FlowKey]int)} }
+
+func (l *alertLog) add(a ids.Alert) {
+	l.mu.Lock()
+	l.per[a.Flow]++
+	l.mu.Unlock()
+}
+
+// checkExactlyOnce asserts every flow in [0, flows) except the skipped
+// ones alerted exactly once — no loss, no duplication.
+func (l *alertLog) checkExactlyOnce(t *testing.T, flows int, skip map[int]bool) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for f := 0; f < flows; f++ {
+		want := 1
+		if skip[f] {
+			want = 0
+		}
+		if got := l.per[chaosKey(f)]; got != want {
+			t.Errorf("flow %d: %d alerts, want %d", f, got, want)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// segsFor builds each flow's single matching segment (FIN-terminated,
+// so flows tear down through the normal path).
+func segsFor(flows int) []netsim.Segment {
+	segs := make([]netsim.Segment, 0, flows)
+	for f := 0; f < flows; f++ {
+		payload := []byte(fmt.Sprintf("flow %04d carries generic-bad-001 once", f))
+		segs = append(segs, netsim.Segment{
+			Flow: chaosKey(f), Payload: payload, Flags: netsim.FlagFIN,
+		})
+	}
+	return segs
+}
+
+// TestChaosShardPanicQuarantinesFlow injects a panic into one flow's
+// segment handling: the flow is quarantined and counted, the shard
+// survives, and every other flow's alert arrives exactly once.
+func TestChaosShardPanicQuarantinesFlow(t *testing.T) {
+	defer chaos.Reset()
+	const flows = 64
+	const poison = 17
+
+	var panics atomic.Int32
+	chaos.Set(chaos.ShardSegment, func(ctx any) {
+		if ctx.(netsim.FlowKey) == chaosKey(poison) {
+			panics.Add(1)
+			panic("chaos: injected shard panic")
+		}
+	})
+
+	e := chaosEngine(t)
+	a := arena.New(arena.Config{})
+	log := newAlertLog()
+	d := e.NewDispatcher(2, netsim.Limits{MaxFlows: 256}, log.add)
+	d.SetArena(a)
+	obs := d.Observe()
+
+	segs := segsFor(flows)
+	d.HandleBatch(segs)
+	// A second wave for the poisoned flow: its quarantine must swallow
+	// these without re-panicking or alerting.
+	d.HandleBatch([]netsim.Segment{{
+		Flow: chaosKey(poison), Seq: 100,
+		Payload: []byte("more generic-bad-001 after the panic"),
+	}})
+	d.FlushAll()
+	d.Close()
+
+	log.checkExactlyOnce(t, flows, map[int]bool{poison: true})
+	if got := panics.Load(); got != 1 {
+		t.Fatalf("hook panicked %d times; want 1 (quarantine must drop the retry)", got)
+	}
+	c := obs.Counters()
+	if c.PanicsRecovered != 1 || c.FlowsQuarantined != 1 {
+		t.Fatalf("PanicsRecovered=%d FlowsQuarantined=%d; want 1/1",
+			c.PanicsRecovered, c.FlowsQuarantined)
+	}
+	if st := a.Stats(); st.InUse != 0 {
+		t.Fatalf("arena leak after injected panic: %d bytes in use", st.InUse)
+	}
+}
+
+// TestChaosPanicStorm: every fourth flow panics; the shards must
+// quarantine them all and still deliver every healthy flow's alert
+// exactly once.
+func TestChaosPanicStorm(t *testing.T) {
+	defer chaos.Reset()
+	const flows = 128
+	bad := func(f int) bool { return f%4 == 0 }
+
+	chaos.Set(chaos.ShardSegment, func(ctx any) {
+		k := ctx.(netsim.FlowKey)
+		if bad(int(k.SrcPort) - 30000) {
+			panic("chaos: storm")
+		}
+	})
+
+	e := chaosEngine(t)
+	a := arena.New(arena.Config{})
+	log := newAlertLog()
+	d := e.NewDispatcher(4, netsim.Limits{MaxFlows: 256}, log.add)
+	d.SetArena(a)
+	obs := d.Observe()
+
+	d.HandleBatch(segsFor(flows))
+	d.FlushAll()
+	d.Close()
+
+	skip := map[int]bool{}
+	want := 0
+	for f := 0; f < flows; f++ {
+		if bad(f) {
+			skip[f] = true
+			want++
+		}
+	}
+	log.checkExactlyOnce(t, flows, skip)
+	c := obs.Counters()
+	if int(c.FlowsQuarantined) != want || int(c.PanicsRecovered) != want {
+		t.Fatalf("quarantined=%d recovered=%d; want %d each",
+			c.FlowsQuarantined, c.PanicsRecovered, want)
+	}
+	if st := a.Stats(); st.InUse != 0 {
+		t.Fatalf("arena leak after storm: %d bytes in use", st.InUse)
+	}
+}
+
+// TestChaosArenaExhaustion: a pathologically small arena cap forces
+// the overflow-to-heap path mid-ingest; alert delivery must be
+// unaffected and the arena must still come back to zero.
+func TestChaosArenaExhaustion(t *testing.T) {
+	const flows = 96
+	e := chaosEngine(t)
+	a := arena.New(arena.Config{MaxBytes: 4 << 10})
+	log := newAlertLog()
+	d := e.NewDispatcher(2, netsim.Limits{MaxFlows: 256}, log.add)
+	d.SetArena(a)
+
+	d.HandleBatch(segsFor(flows))
+	d.FlushAll()
+	d.Close()
+
+	log.checkExactlyOnce(t, flows, nil)
+	st := a.Stats()
+	if st.Overflows == 0 {
+		t.Fatal("arena cap never tripped — exhaustion not exercised")
+	}
+	if st.InUse != 0 {
+		t.Fatalf("arena leak under exhaustion: %d bytes in use", st.InUse)
+	}
+}
+
+// TestChaosStalledShard: one worker sleeps on every slab (a stalled
+// shard); slab-pool backpressure bounds memory, FlushAll still drains,
+// and no alert is lost or duplicated.
+func TestChaosStalledShard(t *testing.T) {
+	defer chaos.Reset()
+	const flows = 64
+	chaos.Set(chaos.DispatchBatch, func(ctx any) {
+		if ctx.(int) == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+
+	e := chaosEngine(t)
+	a := arena.New(arena.Config{})
+	log := newAlertLog()
+	d := e.NewDispatcher(2, netsim.Limits{MaxFlows: 256}, log.add)
+	d.SetArena(a)
+
+	// Several waves through the stalled pipeline; only the first wave's
+	// segment of each flow matches, later waves are clean filler that
+	// must still drain through the slow worker.
+	d.HandleBatch(segsFor(flows))
+	for wave := 0; wave < 4; wave++ {
+		filler := make([]netsim.Segment, 0, flows)
+		for f := 0; f < flows; f++ {
+			filler = append(filler, netsim.Segment{
+				Flow: chaosKey(f), Seq: uint32(100 + 32*wave),
+				Payload: []byte("clean filler bytes, nothing to see"),
+			})
+		}
+		d.HandleBatch(filler)
+	}
+	done := make(chan struct{})
+	go func() { d.FlushAll(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("FlushAll hung behind the stalled shard")
+	}
+	d.Close()
+
+	log.checkExactlyOnce(t, flows, nil)
+	if st := a.Stats(); st.InUse != 0 {
+		t.Fatalf("arena leak behind stalled shard: %d bytes in use", st.InUse)
+	}
+}

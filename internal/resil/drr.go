@@ -1,0 +1,265 @@
+package resil
+
+import (
+	"sort"
+	"sync"
+
+	"vpatch/internal/netsim"
+)
+
+// Deficit-round-robin scheduling of ingest batches across tenants.
+// Every tenant owns one bounded FIFO of segment batches; a single
+// scheduler goroutine visits the active tenants in rotation, granting
+// each a byte quantum per visit and dispatching that tenant's batches
+// while its accumulated deficit covers them. The result is byte-level
+// fairness regardless of offered load: a tenant flooding at 100x its
+// share fills its own queue and overflows (drops charged to itself),
+// while every other tenant's batches keep dispatching within one
+// rotation. This replaces reject-over-quota as the first line of
+// ingest overload defense — quotas cap a tenant in isolation, DRR
+// additionally guarantees its neighbors' service.
+
+// DispatchFunc delivers one dequeued batch to a tenant's pipeline.
+// It is called from the scheduler goroutine with no lock held and owns
+// the segments' payloads.
+type DispatchFunc func(tenant string, segs []netsim.Segment)
+
+// SchedulerConfig parameterizes a Scheduler.
+type SchedulerConfig struct {
+	// QuantumBytes is the byte credit each active tenant earns per
+	// round-robin visit (default 256 KiB). Larger quanta favor batch
+	// locality; smaller quanta tighten fairness granularity.
+	QuantumBytes int
+	// QueueBytes bounds each tenant's queued-but-undispatched payload
+	// bytes (default 4 MiB). Enqueues beyond it are dropped — the
+	// overloading tenant degrades itself.
+	QueueBytes int
+	// Dispatch receives dequeued batches. Required.
+	Dispatch DispatchFunc
+}
+
+const (
+	// DefaultQuantumBytes is SchedulerConfig.QuantumBytes when unset.
+	DefaultQuantumBytes = 256 << 10
+	// DefaultQueueBytes is SchedulerConfig.QueueBytes when unset.
+	DefaultQueueBytes = 4 << 20
+)
+
+// QueueStats is one tenant's scheduling counters.
+type QueueStats struct {
+	Tenant string
+	// QueuedBytes is the current backlog.
+	QueuedBytes int
+	// DispatchedBatches / DispatchedBytes count delivered work.
+	DispatchedBatches uint64
+	DispatchedBytes   uint64
+	// DroppedBatches / DroppedBytes count enqueues refused because the
+	// tenant's queue was full (its own overload, by construction).
+	DroppedBatches uint64
+	DroppedBytes   uint64
+}
+
+type qbatch struct {
+	segs  []netsim.Segment
+	bytes int
+}
+
+type tenantQueue struct {
+	name     string
+	batches  []qbatch
+	bytes    int
+	deficit  int
+	active   bool // sits in the scheduler's rotation ring
+	inflight bool // a batch of this tenant is being dispatched
+
+	dispatchedBatches uint64
+	dispatchedBytes   uint64
+	droppedBatches    uint64
+	droppedBytes      uint64
+}
+
+// Scheduler is the DRR ingest scheduler. Create with NewScheduler,
+// start the dispatch goroutine with Start, feed it with Enqueue from
+// any number of goroutines, and Close to drain and stop.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string]*tenantQueue
+	ring   []*tenantQueue
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler returns a scheduler; it dispatches nothing until Start.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.QuantumBytes <= 0 {
+		cfg.QuantumBytes = DefaultQuantumBytes
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	if cfg.Dispatch == nil {
+		panic("resil: nil Dispatch")
+	}
+	s := &Scheduler{cfg: cfg, queues: make(map[string]*tenantQueue)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Start launches the dispatch goroutine.
+func (s *Scheduler) Start() {
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Enqueue appends one batch to the tenant's queue, reporting whether
+// it was accepted. A full queue (or a closed scheduler) refuses the
+// batch and releases its payloads — the caller must treat the segments
+// as consumed either way. Accepted batches are dispatched in per-tenant
+// FIFO order, so one sender's flow order is preserved.
+func (s *Scheduler) Enqueue(tenant string, segs []netsim.Segment) bool {
+	n := 0
+	for i := range segs {
+		n += len(segs[i].Payload)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		releaseAll(segs)
+		return false
+	}
+	q := s.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{name: tenant}
+		s.queues[tenant] = q
+	}
+	if q.bytes+n > s.cfg.QueueBytes && len(q.batches) > 0 {
+		q.droppedBatches++
+		q.droppedBytes += uint64(n)
+		s.mu.Unlock()
+		releaseAll(segs)
+		return false
+	}
+	q.batches = append(q.batches, qbatch{segs: segs, bytes: n})
+	q.bytes += n
+	if !q.active {
+		q.active = true
+		s.ring = append(s.ring, q)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return true
+}
+
+// run is the scheduler goroutine: classic DRR over the active ring.
+func (s *Scheduler) run() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for !s.closed && len(s.ring) == 0 {
+			s.cond.Wait()
+		}
+		if len(s.ring) == 0 {
+			// Closed and fully drained.
+			s.mu.Unlock()
+			return
+		}
+		q := s.ring[0]
+		s.ring = s.ring[1:]
+		q.deficit += s.cfg.QuantumBytes
+		for len(q.batches) > 0 && q.batches[0].bytes <= q.deficit {
+			b := q.batches[0]
+			q.batches = q.batches[1:]
+			q.bytes -= b.bytes
+			q.deficit -= b.bytes
+			q.dispatchedBatches++
+			q.dispatchedBytes += uint64(b.bytes)
+			q.inflight = true
+			s.mu.Unlock()
+			s.cfg.Dispatch(q.name, b.segs)
+			s.mu.Lock()
+			q.inflight = false
+			s.cond.Broadcast()
+		}
+		if len(q.batches) > 0 {
+			s.ring = append(s.ring, q)
+		} else {
+			// An emptied queue leaves the rotation and forfeits its
+			// deficit (standard DRR — credit must not accumulate while
+			// idle).
+			q.active = false
+			q.deficit = 0
+		}
+	}
+}
+
+// Flush blocks until every batch the tenant enqueued before the call
+// has been dispatched (ingest connections call it before FlushAll so
+// end-of-stream alert draining sees all their segments).
+func (s *Scheduler) Flush(tenant string) {
+	s.mu.Lock()
+	for q := s.queues[tenant]; q != nil && (len(q.batches) > 0 || q.inflight); {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close drains every queue through Dispatch, then stops the scheduler
+// goroutine. Enqueues after Close are refused.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats reports per-tenant scheduling counters, sorted by tenant name.
+func (s *Scheduler) Stats() []QueueStats {
+	s.mu.Lock()
+	out := make([]QueueStats, 0, len(s.queues))
+	for _, q := range s.queues {
+		out = append(out, QueueStats{
+			Tenant:            q.name,
+			QueuedBytes:       q.bytes,
+			DispatchedBatches: q.dispatchedBatches,
+			DispatchedBytes:   q.dispatchedBytes,
+			DroppedBatches:    q.droppedBatches,
+			DroppedBytes:      q.droppedBytes,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// TenantStats reports one tenant's counters (zero value if unknown).
+func (s *Scheduler) TenantStats(tenant string) QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[tenant]
+	if q == nil {
+		return QueueStats{Tenant: tenant}
+	}
+	return QueueStats{
+		Tenant:            q.name,
+		QueuedBytes:       q.bytes,
+		DispatchedBatches: q.dispatchedBatches,
+		DispatchedBytes:   q.dispatchedBytes,
+		DroppedBatches:    q.droppedBatches,
+		DroppedBytes:      q.droppedBytes,
+	}
+}
+
+func releaseAll(segs []netsim.Segment) {
+	for i := range segs {
+		segs[i].ReleasePayload()
+	}
+}

@@ -12,9 +12,11 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"vpatch/ids"
 )
@@ -195,10 +197,22 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A follower that stops reading must not park this handler forever:
+	// every write (records and heartbeats) runs under a write deadline,
+	// and idle periods carry newline heartbeats — valid NDJSON filler —
+	// so dead connections are discovered within a heartbeat interval
+	// instead of holding a subscription slot until the next alert.
 	fl, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	armWrite := func() {
+		if d := s.cfg.FollowWriteTimeout; d > 0 {
+			rc.SetWriteDeadline(time.Now().Add(d))
+		}
+	}
 	ch, replay := s.alertHub.subscribe()
 	defer s.alertHub.unsubscribe(ch)
 	replay = filterAlerts(replay, match, limit)
+	armWrite()
 	for _, rec := range replay {
 		if !write(rec) {
 			return
@@ -207,6 +221,12 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	if fl != nil {
 		fl.Flush()
 	}
+	var heartbeat <-chan time.Time
+	if d := s.cfg.FollowHeartbeat; d > 0 {
+		tk := time.NewTicker(d)
+		defer tk.Stop()
+		heartbeat = tk.C
+	}
 	ctx := r.Context()
 	for {
 		select {
@@ -214,6 +234,14 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-s.drainCh:
 			return
+		case <-heartbeat:
+			armWrite()
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
 		case rec := <-ch:
 			// Replayed records may race into the subscription; the
 			// sequence numbers keep the stream deduplicatable, but skip
@@ -224,6 +252,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 			if !match(rec) {
 				continue
 			}
+			armWrite()
 			if !write(rec) {
 				return
 			}

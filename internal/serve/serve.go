@@ -37,6 +37,7 @@ import (
 	"vpatch/ids"
 	"vpatch/internal/arena"
 	"vpatch/internal/netsim"
+	"vpatch/internal/resil"
 )
 
 // streamBatchSegs is the per-request dispatcher handoff batch for the
@@ -60,6 +61,27 @@ type Config struct {
 	// OnAlert, when set, receives every flow alert (concurrently, from
 	// worker goroutines — must be safe for concurrent use).
 	OnAlert func(tenant string, gen uint64, a ids.Alert)
+
+	// IngestIdleTimeout tears down a raw-TCP ingest connection that has
+	// carried no frames for this long (default 5m; negative disables).
+	// Slow-loris connections hold a goroutine and a socket, nothing
+	// else, and only until this fires.
+	IngestIdleTimeout time.Duration
+	// StreamFrameTimeout bounds how long one /v1/stream frame may take
+	// to arrive; a stalled upload is torn down (default 30s; negative
+	// disables).
+	StreamFrameTimeout time.Duration
+	// FollowWriteTimeout bounds each write to a /v1/alerts?follow=1
+	// client; a follower that stops reading is disconnected rather than
+	// parked forever (default 30s; negative disables).
+	FollowWriteTimeout time.Duration
+	// FollowHeartbeat is the keep-alive interval for idle follow
+	// streams: a bare newline (valid NDJSON filler) proves liveness both
+	// ways (default 15s; negative disables).
+	FollowHeartbeat time.Duration
+	// SchedQuantumBytes is the deficit-round-robin byte quantum per
+	// tenant visit on the shared ingest scheduler (default 256 KiB).
+	SchedQuantumBytes int
 }
 
 // Server is the resident scanning daemon. Create with New, expose with
@@ -79,6 +101,13 @@ type Server struct {
 	drainCh   chan struct{} // closed on the first Drain; ends /v1/alerts followers
 	drainOnce sync.Once
 	ingestWG  sync.WaitGroup // live raw-TCP ingest connections
+
+	// sched is the fair ingest scheduler: every segment batch from the
+	// raw-TCP port and /v1/stream queues here per tenant and reaches the
+	// tenants' dispatchers in deficit-round-robin order, so one tenant's
+	// flood cannot starve another's modest feed.
+	sched     *resil.Scheduler
+	schedOnce sync.Once // closes sched exactly once (Drain re-reports)
 
 	// alertHub fans every tenant's flow alerts out to /v1/alerts
 	// followers and SubscribeAlerts sinks.
@@ -114,6 +143,18 @@ func New(cfg Config) *Server {
 	if cfg.TenantDefaults.Shards <= 0 {
 		cfg.TenantDefaults.Shards = 1
 	}
+	if cfg.IngestIdleTimeout == 0 {
+		cfg.IngestIdleTimeout = 5 * time.Minute
+	}
+	if cfg.StreamFrameTimeout == 0 {
+		cfg.StreamFrameTimeout = 30 * time.Second
+	}
+	if cfg.FollowWriteTimeout == 0 {
+		cfg.FollowWriteTimeout = 30 * time.Second
+	}
+	if cfg.FollowHeartbeat == 0 {
+		cfg.FollowHeartbeat = 15 * time.Second
+	}
 	s := &Server{
 		cfg:       cfg,
 		start:     time.Now(),
@@ -126,7 +167,37 @@ func New(cfg Config) *Server {
 	for _, h := range handlerNames {
 		s.httpStats[h] = &handlerStats{codes: make(map[int]uint64)}
 	}
+	// The DRR scheduler's dispatch callback resolves the tenant's
+	// current generation per batch, so long-queued batches still land on
+	// freshly swapped rules, and a batch whose tenant vanished (deleted,
+	// drained, rules never loaded) is dropped with its payloads
+	// released, never leaked.
+	s.sched = resil.NewScheduler(resil.SchedulerConfig{
+		QuantumBytes: cfg.SchedQuantumBytes,
+		QueueBytes:   cfg.TenantDefaults.IngestQueueBytes,
+		Dispatch: func(tenant string, segs []netsim.Segment) {
+			t := s.Tenant(tenant)
+			if t == nil {
+				releaseSegments(segs)
+				return
+			}
+			g := t.acquire()
+			if g == nil {
+				releaseSegments(segs)
+				return
+			}
+			g.disp.HandleBatch(segs)
+			g.release()
+		},
+	})
+	s.sched.Start()
 	return s
+}
+
+func releaseSegments(segs []netsim.Segment) {
+	for i := range segs {
+		segs[i].ReleasePayload()
+	}
 }
 
 // CreateTenant registers a new named tenant. Unset config fields
@@ -214,6 +285,12 @@ type TenantDrain struct {
 	ResidualPendingBytes int `json:"residual_pending_bytes"`
 }
 
+// SchedStats returns the fair ingest scheduler's counters for one
+// tenant lane (zero value for a lane that never enqueued).
+func (s *Server) SchedStats(tenant string) resil.QueueStats {
+	return s.sched.TenantStats(tenant)
+}
+
 // Drain stops accepting scan/stream/rules requests, retires every
 // tenant (each generation's dispatcher closes, flushing all shards so
 // every buffered alert surfaces), and reports the residual state.
@@ -228,6 +305,13 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 		tm := time.AfterFunc(timeout, func() { close(deadline) })
 		defer tm.Stop()
 	}
+	// Order matters: ingest connections stop enqueuing (they observe the
+	// draining flag within a poll interval), then the scheduler drains
+	// its queued batches into the still-live dispatchers, then the
+	// tenants retire — so no queued segment's alerts are lost to the
+	// shutdown itself.
+	s.ingestWG.Wait()
+	s.schedOnce.Do(func() { s.sched.Close() })
 	rep := DrainReport{Clean: true, Tenants: make(map[string]TenantDrain)}
 	for _, name := range s.tenantNames() {
 		t := s.Tenant(name)
@@ -252,7 +336,6 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 			rep.Clean = false
 		}
 	}
-	s.ingestWG.Wait() // raw-TCP conns observe draining and exit
 	return rep
 }
 
@@ -289,6 +372,11 @@ func (w *statusWriter) Flush() {
 		f.Flush()
 	}
 }
+
+// Unwrap lets http.NewResponseController reach the underlying writer
+// for per-request read/write deadlines through the instrumentation
+// wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // route resolves a request to (instrumentation name, handler).
 func (s *Server) route(r *http.Request) (string, http.HandlerFunc) {
@@ -453,6 +541,10 @@ type streamResponse struct {
 	Generation uint64 `json:"generation"`
 	Segments   int    `json:"segments"`
 	Bytes      int    `json:"bytes"`
+	// DroppedBatches counts segment batches this request offered past
+	// the tenant's bounded ingest queue — shed by the fair scheduler
+	// (the tenant degraded itself; nobody else lost throughput).
+	DroppedBatches int `json:"dropped_batches,omitempty"`
 	// AlertsTotal is the tenant's cumulative alert count after this
 	// request (alerts surface at batch watermarks; pass flush=1 to
 	// force pending batches through before the response).
@@ -482,18 +574,30 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer g.release()
 	resp := streamResponse{Tenant: t.name, Generation: g.gen}
-	// Frames land in recycled arena chunks and are handed to the
-	// dispatcher in batches — the zero-alloc ingest path. Lingering
-	// batch remainders are flushed before any return.
+	// Frames land in recycled arena chunks and queue on the tenant's
+	// fair-scheduler lane in batches; the DRR rotation hands them to the
+	// dispatcher. Lingering batch remainders are flushed before any
+	// return. Batch slices are owned by the scheduler once enqueued, so
+	// a fresh slice backs each handoff.
+	rc := http.NewResponseController(w)
 	batch := make([]netsim.Segment, 0, streamBatchSegs)
 	flushBatch := func() {
-		if len(batch) > 0 {
-			g.disp.HandleBatch(batch)
-			batch = batch[:0]
+		if len(batch) == 0 {
+			return
 		}
+		if !s.sched.Enqueue(t.name, batch) {
+			resp.DroppedBatches++
+		}
+		batch = make([]netsim.Segment, 0, streamBatchSegs)
 	}
 	defer flushBatch()
 	for {
+		// Bound each frame's arrival: a stalled (slow-loris) upload is
+		// torn down instead of holding the handler forever. Transports
+		// without deadline support (errors ignored) simply stay unbounded.
+		if d := s.cfg.StreamFrameTimeout; d > 0 {
+			rc.SetReadDeadline(time.Now().Add(d))
+		}
 		seg, err := ReadSegmentArena(r.Body, s.arena)
 		if err == io.EOF {
 			break
@@ -514,8 +618,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flushBatch()
 		}
 	}
+	rc.SetReadDeadline(time.Time{})
 	if r.URL.Query().Get("flush") == "1" {
 		flushBatch()
+		s.sched.Flush(t.name)
+		// The scheduler may have landed batches on a newer generation
+		// than the one this request pinned; flush the current one too.
+		if cg := t.acquire(); cg != nil {
+			cg.disp.FlushAll()
+			cg.release()
+		}
 		g.disp.FlushAll()
 	}
 	resp.AlertsTotal = t.alerts.Load()
@@ -684,6 +796,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(i int) float64 { return float64(scans[i].VerifierRuns) })
 	counter("vpatch_verifier_states_total", "Lazy-DFA states built across verifier runs.",
 		func(i int) float64 { return float64(scans[i].VerifierStates) })
+
+	// Resilience: match-flood degradation and fault recovery.
+	counter("vpatch_verifier_budget_exhausted_total", "Verifier budget exhaustions (flow or tenant pool ran dry).",
+		func(i int) float64 { return float64(scans[i].VerifierBudgetExhausted) })
+	counter("vpatch_degraded_flows_total", "Flows demoted to literal-only alerting by the verifier budget.",
+		func(i int) float64 { return float64(scans[i].DegradedFlows) })
+	counter("vpatch_panics_recovered_total", "Per-segment panics recovered by shard workers.",
+		func(i int) float64 { return float64(scans[i].PanicsRecovered) })
+	counter("vpatch_flows_quarantined_total", "Flows quarantined after causing a shard panic.",
+		func(i int) float64 { return float64(scans[i].FlowsQuarantined) })
+
+	// Fair ingest scheduler (deficit round-robin across tenants).
+	scheds := make([]resil.QueueStats, len(rows))
+	for i, r := range rows {
+		scheds[i] = s.sched.TenantStats(r.name)
+	}
+	counter("vpatch_sched_dispatched_bytes_total", "Segment bytes the fair scheduler handed to dispatchers.",
+		func(i int) float64 { return float64(scheds[i].DispatchedBytes) })
+	counter("vpatch_sched_dropped_batches_total", "Ingest batches shed at the tenant's bounded scheduler queue.",
+		func(i int) float64 { return float64(scheds[i].DroppedBatches) })
+	counter("vpatch_sched_dropped_bytes_total", "Segment bytes shed at the tenant's bounded scheduler queue.",
+		func(i int) float64 { return float64(scheds[i].DroppedBytes) })
+	gauge("vpatch_sched_queued_bytes", "Segment bytes waiting on the tenant's scheduler queue.",
+		func(i int) float64 { return float64(scheds[i].QueuedBytes) })
 
 	// Acceleration counters.
 	counter("vpatch_accel_skipped_bytes_total", "Input bytes cleared by the skip-loop accelerator without probing.",

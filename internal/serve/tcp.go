@@ -4,9 +4,12 @@ package serve
 // for feeding capture pipelines into the daemon without HTTP framing
 // overhead. A connection opens with a hello frame naming the tenant
 // (see wire.go) and then carries segment frames until either side
-// closes. Ingest observes rule hot-swaps mid-connection: the pinned
-// generation is re-acquired periodically, so a long-lived feed migrates
-// to new rules within a bounded number of frames.
+// closes. Frames queue on the tenant's fair-scheduler lane; the DRR
+// dispatch callback resolves the tenant's current generation per
+// batch, so a long-lived feed migrates to hot-swapped rules at the
+// next batch boundary. Connection robustness: frames that stall
+// mid-read are bounded by ingestFrameTimeout, and connections idle
+// past Config.IngestIdleTimeout are torn down (slow-loris defense).
 
 import (
 	"encoding/binary"
@@ -17,14 +20,12 @@ import (
 	"time"
 
 	"vpatch/internal/netsim"
+	"vpatch/internal/resil/chaos"
 )
 
 const (
-	// ingestReacquireEvery bounds how many frames a connection scans
-	// against a stale generation after a hot swap.
-	ingestReacquireEvery = 256
 	// ingestPollInterval is how often an idle connection re-checks the
-	// draining flag.
+	// draining flag and its idle-timeout clock.
 	ingestPollInterval = 500 * time.Millisecond
 	// ingestFrameTimeout kills a connection that stalls mid-frame.
 	ingestFrameTimeout = 30 * time.Second
@@ -142,28 +143,23 @@ func (s *Server) serveIngestConn(conn net.Conn) {
 		return
 	}
 
-	var g *generation
-	defer func() {
-		if g != nil {
-			g.release()
-		}
-	}()
-	// Frames land in recycled arena chunks and reach the pinned
-	// generation's dispatcher in batches. The batch always belongs to
-	// the current g, so it is flushed before any release/migration —
-	// and on every exit path (the defer below runs before g's release).
+	// Frames land in recycled arena chunks and queue on the tenant's
+	// fair-scheduler lane in batches; once enqueued the scheduler owns
+	// the batch slice, so a fresh slice backs each handoff. Lingering
+	// remainders flush on every exit path.
 	batch := make([]netsim.Segment, 0, streamBatchSegs)
 	flushBatch := func() {
-		if len(batch) > 0 && g != nil {
-			g.disp.HandleBatch(batch)
-			batch = batch[:0]
+		if len(batch) == 0 {
+			return
 		}
+		s.sched.Enqueue(t.name, batch) // a refused batch releases its payloads
+		batch = make([]netsim.Segment, 0, streamBatchSegs)
 	}
 	defer flushBatch()
-	frames := 0
+	idleSince := time.Now()
 	for {
 		// Wait for the next frame's first byte with a short deadline so
-		// idle connections notice drains and hot swaps promptly. A
+		// idle connections notice drains and idle-timeout promptly. A
 		// non-empty batch only waits the linger bound.
 		for {
 			wait := ingestPollInterval
@@ -175,23 +171,28 @@ func (s *Server) serveIngestConn(conn net.Conn) {
 				break
 			}
 			if err != errIdle {
-				if err == io.EOF && g != nil {
-					// The feed ended cleanly: flush now so its buffered
-					// alerts surface without waiting for watermarks.
+				if err == io.EOF {
+					// The feed ended cleanly: push everything through so
+					// its buffered alerts surface without waiting for
+					// watermarks.
 					flushBatch()
-					g.disp.FlushAll()
+					s.sched.Flush(t.name)
+					if g := t.acquire(); g != nil {
+						g.disp.FlushAll()
+						g.release()
+					}
 				}
 				return
 			}
-			flushBatch() // idle: hand lingering segments to the workers
+			flushBatch() // idle: hand lingering segments to the scheduler
 			if s.draining.Load() {
 				return
 			}
-			if g != nil && t.cur.Load() != g {
-				g.release() // idle across a swap: migrate now
-				g = nil
+			if d := s.cfg.IngestIdleTimeout; d > 0 && time.Since(idleSince) >= d {
+				return // frame-less past the idle bound: slow-loris teardown
 			}
 		}
+		idleSince = time.Now()
 		// A frame has begun: bound its completion, then read it whole.
 		conn.SetReadDeadline(time.Now().Add(ingestFrameTimeout))
 		seg, err := ReadSegmentArena(bc, s.arena)
@@ -199,26 +200,17 @@ func (s *Server) serveIngestConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if chaos.Armed() {
+			chaos.Fire(chaos.IngestFrame, t.name)
+		}
 		if !t.takeQuota(4 + segFixedLen + len(seg.Payload)) {
 			seg.ReleasePayload()
 			continue // over quota: count the rejection, drop the frame
-		}
-		if g != nil && (frames%ingestReacquireEvery == 0 || t.cur.Load() != g) {
-			flushBatch()
-			g.release()
-			g = nil
-		}
-		if g == nil {
-			if g = t.acquire(); g == nil {
-				seg.ReleasePayload()
-				return // no rules loaded (or tenant shut down)
-			}
 		}
 		batch = append(batch, seg)
 		if len(batch) == cap(batch) {
 			flushBatch()
 		}
-		frames++
 	}
 }
 

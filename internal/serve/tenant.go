@@ -19,6 +19,7 @@ import (
 	"vpatch/ids"
 	"vpatch/internal/metrics"
 	"vpatch/internal/netsim"
+	"vpatch/internal/resil"
 )
 
 // TenantConfig bounds one tenant's pipeline. Zero fields inherit the
@@ -38,6 +39,21 @@ type TenantConfig struct {
 	// with 429. 0 = unlimited.
 	QuotaBytesPerSec int64 `json:"quota_bytes_per_sec,omitempty"`
 	QuotaBurstBytes  int64 `json:"quota_burst_bytes,omitempty"`
+	// VerifierFlowBudget caps one flow's verifier spend in modeled
+	// cycles (costmodel-priced redfa runs, DFA states and hit
+	// bookkeeping); a flow that overspends is demoted to literal-only
+	// alerting. 0 inherits the server default; negative disables.
+	VerifierFlowBudget int64 `json:"verifier_flow_budget,omitempty"`
+	// VerifierBudgetPerSec rate-limits the tenant's aggregate verifier
+	// spend (modeled cycles/sec, burst VerifierBudgetBurst; default
+	// burst = 2x rate). 0 inherits; negative disables.
+	VerifierBudgetPerSec int64 `json:"verifier_budget_per_sec,omitempty"`
+	VerifierBudgetBurst  int64 `json:"verifier_budget_burst,omitempty"`
+	// IngestQueueBytes bounds the tenant's lane on the fair ingest
+	// scheduler. Effective only through the server's TenantDefaults
+	// (the scheduler applies one bound to every lane); 0 = resil
+	// default (4 MiB).
+	IngestQueueBytes int `json:"ingest_queue_bytes,omitempty"`
 }
 
 func (c TenantConfig) withDefaults(d TenantConfig) TenantConfig {
@@ -61,6 +77,18 @@ func (c TenantConfig) withDefaults(d TenantConfig) TenantConfig {
 	}
 	if c.QuotaBurstBytes == 0 {
 		c.QuotaBurstBytes = d.QuotaBurstBytes
+	}
+	if c.VerifierFlowBudget == 0 {
+		c.VerifierFlowBudget = d.VerifierFlowBudget
+	}
+	if c.VerifierBudgetPerSec == 0 {
+		c.VerifierBudgetPerSec = d.VerifierBudgetPerSec
+	}
+	if c.VerifierBudgetBurst == 0 {
+		c.VerifierBudgetBurst = d.VerifierBudgetBurst
+	}
+	if c.IngestQueueBytes == 0 {
+		c.IngestQueueBytes = d.IngestQueueBytes
 	}
 	return c
 }
@@ -94,6 +122,11 @@ type Tenant struct {
 	swapNano atomic.Int64 // wall clock of the last successful swap
 
 	quota *tokenBucket
+	// vbudget is the tenant's verifier budget (per-flow cap plus shared
+	// cycle pool), installed on every generation's dispatcher; the pool
+	// persists across rule reloads so a hot swap cannot reset an
+	// attacker's spend.
+	vbudget resil.VerifierBudget
 
 	alerts   atomic.Uint64 // flow alerts delivered
 	rejected atomic.Uint64 // quota rejections (429s)
@@ -150,6 +183,15 @@ func (s *Server) newTenant(name string, cfg TenantConfig) *Tenant {
 		}
 		t.quota = newTokenBucket(cfg.QuotaBytesPerSec, burst)
 	}
+	if cfg.VerifierFlowBudget > 0 {
+		t.vbudget.PerFlow = cfg.VerifierFlowBudget
+	}
+	if cfg.VerifierBudgetPerSec > 0 {
+		t.vbudget.Pool = resil.NewPool(cfg.VerifierBudgetPerSec, cfg.VerifierBudgetBurst)
+	}
+	if t.vbudget.Armed() {
+		t.vbudget.Price = resil.DefaultPrice()
+	}
 	return t
 }
 
@@ -176,6 +218,11 @@ func (t *Tenant) Reload(db []byte) (uint64, error) {
 	g := &generation{gen: gen, t: t, eng: eng, drained: make(chan struct{})}
 	g.refs.Store(1)
 	g.disp = eng.NewDispatcher(t.cfg.Shards, t.cfg.limits(), func(a ids.Alert) { t.onAlert(gen, eng, a) })
+	if t.vbudget.Armed() {
+		// Installed before the generation is published, so no segment
+		// races the shard budget fields.
+		g.disp.SetVerifierBudget(t.vbudget)
+	}
 	g.obs = g.disp.Observe()
 
 	t.obsMu.Lock()

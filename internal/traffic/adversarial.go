@@ -1,0 +1,183 @@
+package traffic
+
+// Adversarial evasion corpus: generators for the delivery tricks and
+// payload shapes attackers use against prefilter-then-verify NIDS —
+// tiny-MTU segmentation (1-byte segments force every pattern across a
+// boundary), overlapping retransmissions (overlap-trim bugs), reordered
+// and duplicated delivery, match-flood anchor payloads (every anchor
+// buys a verifier run that can never alert), and near-miss payloads
+// (filter hits that fail verification). The generators avoid importing
+// netsim — netsim's own tests consume this package — so segmentation is
+// expressed as (offset, bytes) Chunks the caller turns into segments.
+// The same corpus seeds the reassembly and rule-stream fuzzers.
+
+import (
+	"math/rand"
+
+	"vpatch/internal/patterns"
+)
+
+// Chunk is one delivery unit of a stream: Data at byte offset Off, with
+// Fin marking the final unit. Chunks may overlap and repeat; their data
+// is always consistent with the underlying stream, as TCP
+// retransmissions are.
+type Chunk struct {
+	Off  int64
+	Data []byte
+	Fin  bool
+}
+
+// TinyMTU slices payload into mtu-byte chunks, in order, FIN on the
+// last. mtu=1 is the classic pathological segmentation: every pattern
+// straddles boundaries, nothing matches within one segment.
+func TinyMTU(payload []byte, mtu int) []Chunk {
+	if mtu <= 0 {
+		mtu = 1
+	}
+	chunks := make([]Chunk, 0, len(payload)/mtu+1)
+	for off := 0; off < len(payload); off += mtu {
+		end := off + mtu
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunks = append(chunks, Chunk{Off: int64(off), Data: payload[off:end]})
+	}
+	if len(chunks) == 0 {
+		chunks = append(chunks, Chunk{})
+	}
+	chunks[len(chunks)-1].Fin = true
+	return chunks
+}
+
+// Overlapped slices payload into chunks of up to mtu bytes where each
+// chunk after the first re-sends up to overlap bytes of already-sent
+// stream (range extended backward) — the overlapping-retransmission
+// trick. Data stays consistent; a correct reassembler must deliver each
+// byte exactly once.
+func Overlapped(payload []byte, mtu, overlap int, seed int64) []Chunk {
+	if mtu <= 0 {
+		mtu = 1
+	}
+	if overlap < 0 {
+		overlap = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var chunks []Chunk
+	for off := 0; off < len(payload); {
+		end := off + 1 + rng.Intn(mtu)
+		if end > len(payload) {
+			end = len(payload)
+		}
+		start := off
+		if len(chunks) > 0 && overlap > 0 {
+			back := rng.Intn(overlap + 1)
+			if back > start {
+				back = start
+			}
+			start -= back
+		}
+		chunks = append(chunks, Chunk{Off: int64(start), Data: payload[start:end]})
+		off = end
+	}
+	if len(chunks) == 0 {
+		chunks = append(chunks, Chunk{})
+	}
+	chunks[len(chunks)-1].Fin = true
+	return chunks
+}
+
+// Shuffled returns a copy of chunks reordered within a sliding window
+// of the given size, with dupFrac of chunks duplicated (retransmits).
+// The FIN chunk is kept last so teardown still terminates the flow.
+func Shuffled(chunks []Chunk, window int, dupFrac float64, seed int64) []Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Chunk, len(chunks))
+	copy(out, chunks)
+	var fin Chunk
+	hasFin := false
+	if n := len(out); n > 0 && out[n-1].Fin {
+		fin, out, hasFin = out[n-1], out[:n-1], true
+	}
+	if window > 1 {
+		for i := range out {
+			lo := i - window + 1
+			if lo < 0 {
+				lo = 0
+			}
+			j := lo + rng.Intn(i-lo+1)
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	if dupFrac > 0 {
+		dup := make([]Chunk, 0, len(out)+int(dupFrac*float64(len(out)))+1)
+		for _, c := range out {
+			dup = append(dup, c)
+			if rng.Float64() < dupFrac {
+				dup = append(dup, c)
+			}
+		}
+		out = dup
+	}
+	if hasFin {
+		out = append(out, fin)
+	}
+	return out
+}
+
+// Evasive composes the delivery tricks with seeded parameters: small
+// random MTU, overlapping retransmissions, windowed reordering and
+// duplicates. The canonical adversarial delivery of one stream.
+func Evasive(payload []byte, seed int64) []Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	mtu := 1 + rng.Intn(24)
+	overlap := rng.Intn(mtu + 1)
+	window := 1 + rng.Intn(8)
+	chunks := Overlapped(payload, mtu, overlap, seed^0x5EED)
+	return Shuffled(chunks, window, 0.15, seed^0xD00D)
+}
+
+// FloodAnchors builds a match-flood payload: sites repetitions of
+// anchor immediately followed by a tail the verifier stage must chew on
+// and reject, separated by pad filler. Against a rule
+// `content:"<anchor>"; pcre:...` every site prices one verifier run
+// that can never produce an alert — the economics-inversion attack the
+// verifier budget exists to bound.
+func FloodAnchors(anchor, tail []byte, sites, pad int) []byte {
+	if pad < 1 {
+		pad = 1
+	}
+	out := make([]byte, 0, sites*(len(anchor)+len(tail)+pad))
+	for i := 0; i < sites; i++ {
+		out = append(out, anchor...)
+		out = append(out, tail...)
+		for j := 0; j < pad; j++ {
+			out = append(out, ' ')
+		}
+	}
+	return out
+}
+
+// NearMisses builds a prefilter-flood payload: sites full patterns
+// drawn from set, each with its final byte corrupted — the short-prefix
+// filters hit, verification fails, no alert ever fires. Patterns
+// shorter than 2 bytes are skipped.
+func NearMisses(set *patterns.Set, sites int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var out []byte
+	n := set.Len()
+	if n == 0 {
+		return out
+	}
+	for i := 0; i < sites; i++ {
+		p := set.Pattern(int32(rng.Intn(n))).Data
+		if len(p) < 2 {
+			continue
+		}
+		miss := make([]byte, len(p))
+		copy(miss, p)
+		miss[len(miss)-1] ^= 0xFF
+		out = append(out, miss...)
+		out = append(out, ' ')
+	}
+	return out
+}

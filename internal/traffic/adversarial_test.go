@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vpatch/internal/patterns"
+)
+
+// reconstruct applies chunks first-write-wins into a buffer sized to
+// the highest covered offset — the reference a correct reassembler
+// should agree with when chunk data is stream-consistent.
+func reconstruct(t *testing.T, chunks []Chunk) []byte {
+	t.Helper()
+	max := int64(0)
+	for _, c := range chunks {
+		if end := c.Off + int64(len(c.Data)); end > max {
+			max = end
+		}
+	}
+	out := make([]byte, max)
+	seen := make([]bool, max)
+	for _, c := range chunks {
+		for i, b := range c.Data {
+			at := c.Off + int64(i)
+			if seen[at] && out[at] != b {
+				t.Fatalf("chunk data inconsistent at offset %d", at)
+			}
+			out[at], seen[at] = b, true
+		}
+	}
+	for at, ok := range seen {
+		if !ok {
+			t.Fatalf("offset %d never covered", at)
+		}
+	}
+	return out
+}
+
+func TestTinyMTUCoversPayload(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	for _, mtu := range []int{1, 2, 7, 1000} {
+		chunks := TinyMTU(payload, mtu)
+		if got := reconstruct(t, chunks); !bytes.Equal(got, payload) {
+			t.Fatalf("mtu %d: reconstructed %q", mtu, got)
+		}
+		if !chunks[len(chunks)-1].Fin {
+			t.Fatalf("mtu %d: FIN missing on last chunk", mtu)
+		}
+		if mtu == 1 && len(chunks) != len(payload) {
+			t.Fatalf("mtu 1: %d chunks for %d bytes", len(chunks), len(payload))
+		}
+	}
+	// Empty payload still yields a FIN so the flow terminates.
+	if chunks := TinyMTU(nil, 1); len(chunks) != 1 || !chunks[0].Fin {
+		t.Fatalf("empty payload: %+v", chunks)
+	}
+}
+
+func TestOverlappedConsistentAndCovering(t *testing.T) {
+	payload := Random(4096, 11)
+	overlapped := false
+	for seed := int64(0); seed < 8; seed++ {
+		chunks := Overlapped(payload, 16, 8, seed)
+		if got := reconstruct(t, chunks); !bytes.Equal(got, payload) {
+			t.Fatalf("seed %d: reconstruction mismatch", seed)
+		}
+		end := int64(0)
+		for _, c := range chunks {
+			if c.Off < end && len(c.Data) > 0 {
+				overlapped = true
+			}
+			if e := c.Off + int64(len(c.Data)); e > end {
+				end = e
+			}
+		}
+	}
+	if !overlapped {
+		t.Fatal("no chunk ever re-sent already-sent bytes")
+	}
+}
+
+func TestShuffledPreservesChunksAndFin(t *testing.T) {
+	payload := Random(1024, 7)
+	base := TinyMTU(payload, 32)
+	out := Shuffled(base, 4, 0.5, 99)
+	if !out[len(out)-1].Fin {
+		t.Fatal("FIN not last after shuffle")
+	}
+	if len(out) <= len(base) {
+		t.Fatalf("dupFrac 0.5 produced no duplicates: %d -> %d", len(base), len(out))
+	}
+	// Every original chunk must still be present (loss is not a trick
+	// the corpus models; reassemblers treat loss as an eviction case).
+	if got := reconstruct(t, out); !bytes.Equal(got, payload) {
+		t.Fatal("shuffle lost payload bytes")
+	}
+}
+
+func TestEvasiveDeterministic(t *testing.T) {
+	payload := Random(2048, 3)
+	a := Evasive(payload, 42)
+	b := Evasive(payload, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different deliveries")
+	}
+	if got := reconstruct(t, a); !bytes.Equal(got, payload) {
+		t.Fatal("evasive delivery lost payload bytes")
+	}
+	if c := Evasive(payload, 43); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical deliveries")
+	}
+}
+
+func TestFloodAnchorsShape(t *testing.T) {
+	out := FloodAnchors([]byte("token="), []byte("zzzzzzzz"), 32, 3)
+	if got := bytes.Count(out, []byte("token=")); got != 32 {
+		t.Fatalf("%d anchor sites, want 32", got)
+	}
+	// Every anchor is followed by the rejecting tail: the verifier must
+	// run at each site and alert at none.
+	if got := bytes.Count(out, []byte("token=zzzzzzzz")); got != 32 {
+		t.Fatalf("%d anchored tails, want 32", got)
+	}
+}
+
+func TestNearMissesHitFiltersNotVerify(t *testing.T) {
+	set := patterns.NewSet()
+	set.Add([]byte("attack-pattern-one"), false, patterns.ProtoGeneric)
+	set.Add([]byte("exploit-string-two"), false, patterns.ProtoGeneric)
+	out := NearMisses(set, 64, 5)
+	if len(out) == 0 {
+		t.Fatal("empty near-miss payload")
+	}
+	for i := 0; i < set.Len(); i++ {
+		p := set.Pattern(int32(i)).Data
+		if bytes.Contains(out, p) {
+			t.Fatalf("near-miss payload contains exact pattern %q", p)
+		}
+		if got := bytes.Count(out, p[:len(p)-1]); got == 0 {
+			t.Fatalf("no near-miss site for %q", p)
+		}
+	}
+}
